@@ -1,0 +1,94 @@
+// Flashexp regenerates the tables and figures of "The Performance Impact of
+// Flexibility in the Stanford FLASH Multiprocessor" (ASPLOS 1994).
+//
+// Usage:
+//
+//	flashexp [-scale N] [-procs N] [-noverify] <experiment>...
+//	flashexp all
+//
+// Experiments: table3.3 table3.4 fig4.1 fig4.2 fig4.3 sec4.3 sec4.5
+// table5.1 table5.1small sec5.2 table5.2 table5.3 sec5.3
+//
+// -scale multiplies every application's problem-size divisor; -scale 1 runs
+// the paper's sizes (slow), the default 4 finishes the full suite in
+// minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flashsim/internal/exp"
+)
+
+func main() {
+	scale := flag.Int("scale", 4, "problem size divisor (1 = paper sizes)")
+	procs := flag.Int("procs", 0, "override processor count (0 = paper defaults)")
+	noverify := flag.Bool("noverify", false, "skip result verification after runs")
+	flag.Parse()
+
+	o := exp.Options{Scale: *scale, Verify: !*noverify}
+	if *procs > 0 {
+		o.Procs = *procs
+	}
+
+	type experiment struct {
+		name string
+		run  func() (string, error)
+	}
+	all := []experiment{
+		{"table3.3", exp.Table33},
+		{"table3.4", exp.Table34},
+		{"fig4.1", func() (string, error) { return exp.Fig41(o) }},
+		{"fig4.2", func() (string, error) { return exp.Fig42(o) }},
+		{"fig4.3", func() (string, error) { return exp.Fig43(o) }},
+		{"sec4.3", func() (string, error) { return exp.Sec43(o) }},
+		{"sec4.5", func() (string, error) { return exp.Sec45(o) }},
+		{"table5.1", func() (string, error) { return exp.Table51(o, 1<<20) }},
+		{"table5.1small", func() (string, error) { return exp.Table51(o, 4<<10) }},
+		{"sec5.2", func() (string, error) { return exp.Sec52(o) }},
+		{"table5.2", func() (string, error) { return exp.Table52(o, 1<<20) }},
+		{"table5.3", func() (string, error) { return exp.Table53() }},
+		{"sec5.3", func() (string, error) { return exp.Sec53(o) }},
+		{"protocompare", func() (string, error) { return exp.ProtoCompare(o) }},
+		{"ablations", func() (string, error) { return exp.Ablations(o) }},
+	}
+	byName := map[string]experiment{}
+	for _, e := range all {
+		byName[e.name] = e
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flashexp [-scale N] <experiment>|all ...")
+		for _, e := range all {
+			fmt.Fprintln(os.Stderr, "  ", e.name)
+		}
+		os.Exit(2)
+	}
+	var selected []experiment
+	if len(args) == 1 && args[0] == "all" {
+		selected = all
+	} else {
+		for _, a := range args {
+			e, ok := byName[a]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flashexp: unknown experiment %q\n", a)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+	}
+}

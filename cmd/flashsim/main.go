@@ -1,0 +1,105 @@
+// Flashsim runs one workload on a simulated FLASH or idealized machine and
+// prints the full statistics report.
+//
+// Usage:
+//
+//	flashsim [-machine flash|ideal] [-app fft] [-procs 16] [-cache 1048576]
+//	         [-scale 4] [-placement rr|ft|node0] [-nospec] [-ppmode dual|single|dlx]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/stats"
+	"flashsim/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "flash", "machine kind: flash or ideal")
+	app := flag.String("app", "fft", "workload: barnes fft lu mp3d ocean os radix")
+	procs := flag.Int("procs", 16, "number of processors")
+	cache := flag.Int("cache", 1<<20, "processor cache bytes")
+	scale := flag.Int("scale", 4, "problem size divisor (1 = paper size)")
+	placement := flag.String("placement", "ft", "page placement: rr, ft, node0")
+	nospec := flag.Bool("nospec", false, "disable speculative memory reads")
+	ppmode := flag.String("ppmode", "dual", "PP mode: dual, single, dlx")
+	proto := flag.String("protocol", "dynptr", "coherence protocol: dynptr, bitvec")
+	membytes := flag.Int("membytes", 8<<20, "memory bytes per node")
+	flag.Parse()
+
+	cfg := arch.DefaultConfig()
+	cfg.Nodes = *procs
+	cfg.CacheSize = *cache
+	cfg.MemBytesPerNode = *membytes
+	cfg.Speculation = !*nospec
+	switch *machine {
+	case "flash":
+		cfg.Kind = arch.KindFLASH
+	case "ideal":
+		cfg.Kind = arch.KindIdeal
+	default:
+		fatal("unknown machine %q", *machine)
+	}
+	switch *placement {
+	case "rr":
+		cfg.Placement = arch.PlaceRoundRobin
+	case "ft":
+		cfg.Placement = arch.PlaceFirstTouch
+	case "node0":
+		cfg.Placement = arch.PlaceNodeZero
+	default:
+		fatal("unknown placement %q", *placement)
+	}
+	switch *proto {
+	case "dynptr":
+		cfg.Protocol = arch.ProtoDynPtr
+	case "bitvec":
+		cfg.Protocol = arch.ProtoBitVector
+	default:
+		fatal("unknown protocol %q", *proto)
+	}
+	switch *ppmode {
+	case "dual":
+		cfg.PPMode = arch.PPDualIssue
+	case "single":
+		cfg.PPMode = arch.PPSingleIssue
+	case "dlx":
+		cfg.PPMode = arch.PPNoSpecial
+	default:
+		fatal("unknown ppmode %q", *ppmode)
+	}
+
+	m, err := core.New(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	w := workload.NewWorld(m)
+	a, err := apps.Build(*app, w, apps.Params{Procs: *procs, Scale: *scale})
+	if err != nil {
+		fatal("%v", err)
+	}
+	start := time.Now()
+	if err := w.Run(a.Run, 0); err != nil {
+		fatal("%v", err)
+	}
+	if err := a.Verify(); err != nil {
+		fatal("verify: %v", err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		fatal("coherence: %v", err)
+	}
+	fmt.Printf("%s on %s (scale 1/%d): verified OK, wall %.1fs\n\n",
+		*app, *machine, *scale, time.Since(start).Seconds())
+	fmt.Print(stats.Collect(m))
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "flashsim: "+format+"\n", args...)
+	os.Exit(1)
+}

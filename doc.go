@@ -1,0 +1,12 @@
+// Package flashsim is a reproduction of "The Performance Impact of
+// Flexibility in the Stanford FLASH Multiprocessor" (Heinrich et al.,
+// ASPLOS-VI, 1994): a cycle-level simulator of FLASH nodes built around the
+// programmable MAGIC controller — whose cache-coherence protocol actually
+// executes as dual-issue handler code on an emulated protocol processor —
+// together with the paper's idealized hardwired comparison machine, its
+// seven workloads, and a harness that regenerates every table and figure of
+// the evaluation.
+//
+// Start with cmd/flashsim (run one workload), cmd/flashexp (regenerate the
+// paper's tables and figures), examples/quickstart, and DESIGN.md.
+package flashsim

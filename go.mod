@@ -1,0 +1,3 @@
+module flashsim
+
+go 1.22

@@ -1,0 +1,73 @@
+// Package apps implements the paper's seven workloads (Table 3.5) as
+// execution-driven programs over the simulated shared address space:
+//
+//	Barnes  — hierarchical N-body (8192 particles, theta = 1.0)
+//	FFT     — radix-sqrt(N) six-step transform (64K complex points)
+//	LU      — blocked dense factorization (512x512, 16x16 blocks)
+//	MP3D    — high-communication particle-in-cell stress test (50K particles)
+//	Ocean   — regular-grid iterative solver (258x258 grids)
+//	OS      — multiprogramming "8 makes" model
+//	Radix   — parallel radix sort (256K keys, radix 256)
+//
+// Every application computes a real result (each Verify checks it), so
+// sharing patterns, data dependences, and synchronization are genuine, not
+// replayed traces. Scale divides the paper's problem size for affordable
+// simulation; Scale=1 is the paper's size.
+package apps
+
+import (
+	"fmt"
+
+	"flashsim/internal/workload"
+)
+
+// App is one runnable workload instance bound to a World.
+type App struct {
+	Name   string
+	Run    func(c *workload.Ctx)
+	Verify func() error
+}
+
+// Params selects the problem size and layout.
+type Params struct {
+	Procs int // worker threads == processors
+	Scale int // paper size divisor (1 = paper size); larger is smaller/faster
+}
+
+func (p Params) scaled(n int) int {
+	s := p.Scale
+	if s <= 0 {
+		s = 1
+	}
+	v := n / s
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Builders maps application names to constructors.
+var Builders = map[string]func(w *workload.World, p Params) (*App, error){
+	"fft":    BuildFFT,
+	"lu":     BuildLU,
+	"radix":  BuildRadix,
+	"ocean":  BuildOcean,
+	"barnes": BuildBarnes,
+	"mp3d":   BuildMP3D,
+	"os":     BuildOS,
+}
+
+// Names lists the applications in the paper's order.
+var Names = []string{"barnes", "fft", "lu", "mp3d", "ocean", "os", "radix"}
+
+// Build constructs the named application.
+func Build(name string, w *workload.World, p Params) (*App, error) {
+	b, ok := Builders[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q", name)
+	}
+	if p.Procs <= 0 {
+		p.Procs = w.Cfg.Nodes
+	}
+	return b(w, p)
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+)
+
+// Every application must be cycle-deterministic: two runs of the same
+// configuration produce identical execution times (the foundation for all
+// A/B comparisons in the experiments).
+func TestAppsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scales := map[string]int{
+		"fft": 256, "lu": 8, "radix": 64, "ocean": 8,
+		"barnes": 32, "mp3d": 50, "os": 16,
+	}
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig(arch.KindFLASH, 0)
+			if name == "os" {
+				cfg.Placement = arch.PlaceRoundRobin
+			}
+			m1, _ := runApp(t, name, cfg, Params{Scale: scales[name]})
+			m2, _ := runApp(t, name, cfg, Params{Scale: scales[name]})
+			if m1.Elapsed != m2.Elapsed {
+				t.Fatalf("%s nondeterministic: %d vs %d cycles", name, m1.Elapsed, m2.Elapsed)
+			}
+		})
+	}
+}
+
+// The bit-vector protocol must run every application correctly too.
+func TestAppsOnBitVector(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scales := map[string]int{"fft": 256, "radix": 64, "mp3d": 50}
+	for name, sc := range scales {
+		cfg := smallConfig(arch.KindFLASH, 0)
+		cfg.Protocol = arch.ProtoBitVector
+		runApp(t, name, cfg, Params{Scale: sc})
+	}
+}
+
+// Small caches force the full writeback/replacement-hint machinery through
+// every application.
+func TestAppsSmallCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	scales := map[string]int{"lu": 8, "radix": 64, "mp3d": 50, "barnes": 32}
+	for name, sc := range scales {
+		runApp(t, name, smallConfig(arch.KindFLASH, 8<<10), Params{Scale: sc})
+	}
+}

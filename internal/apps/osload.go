@@ -1,0 +1,251 @@
+package apps
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/workload"
+)
+
+// BuildOS constructs the multiprogramming workload: N concurrent "makes" of
+// a small C program, standing in for the paper's SimOS/IRIX measurement.
+// Each process reads shared source files through a locked file cache,
+// runs compiler-like passes (streaming scans and pointer-chasing over its
+// heap), writes object files, and links — interleaved with kernel activity
+// (run-queue and VM-table updates under fine-grained locks) tuned so
+// roughly half the references come from the kernel model. User and kernel
+// pages follow the machine placement policy: the paper's round-robin
+// default, or node-zero to reproduce the original non-NUMA IRIX port of
+// Section 4.3.
+func BuildOS(w *workload.World, p Params) (*App, error) {
+	procs := p.Procs
+	heapWords := p.scaled(32 << 10) // per-process heap
+	const blockWords = 16           // 128-byte file blocks
+	srcBlocks := p.scaled(128)      // per source file
+	if srcBlocks < 4 {
+		srcBlocks = 4
+	}
+
+	pol := w.Cfg.Placement
+	lockHome := func(i int) arch.NodeID {
+		if pol == arch.PlaceNodeZero {
+			return 0
+		}
+		return arch.NodeID(i % w.Cfg.Nodes)
+	}
+
+	// Shared kernel structures.
+	const nLocks = 16
+	fsLocks := make([]*workload.Lock, nLocks)
+	for i := range fsLocks {
+		fsLocks[i] = w.NewLock(lockHome(i))
+	}
+	runqLock := w.NewLock(lockHome(0))
+	runq := w.NewArray(64)
+	vmLock := w.NewLock(lockHome(1))
+	vmTable := w.NewArray(procs * 64)
+
+	// File cache: two shared source files plus per-process object files and
+	// executables, placed by policy.
+	objBlocks := srcBlocks / 2
+	totalBlocks := 2*srcBlocks + procs*(2*objBlocks+objBlocks)
+	fcache := w.NewArray(totalBlocks * blockWords)
+	blockAddr := func(b, word int) arch.Addr { return fcache.Addr(b*blockWords + word) }
+	srcBase := func(f int) int { return f * srcBlocks }
+	objBase := func(pid, f int) int { return 2*srcBlocks + pid*3*objBlocks + f*objBlocks }
+	exeBase := func(pid int) int { return 2*srcBlocks + pid*3*objBlocks + 2*objBlocks }
+
+	// Per-process heaps, placed by policy (round-robin pages: the paper's
+	// NUMA-oblivious IRIX allocator).
+	heaps := make([]*workload.Array, procs)
+	for i := range heaps {
+		heaps[i] = w.NewArray(heapWords)
+	}
+	results := w.NewArrayBlocked(procs, procs)
+	bar := w.NewBarrier(procs, 0)
+
+	// Deterministic source file contents.
+	rng := uint64(0xBE5466CF34E90C6C)
+	for b := 0; b < 2*srcBlocks; b++ {
+		for j := 0; j < blockWords; j++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			*w.M.Word(blockAddr(b, j)) = rng % 4096
+		}
+	}
+
+	// kernelWork models a syscall/fault path: run-queue touch plus a VM
+	// table update under their locks.
+	kernelWork := func(c *workload.Ctx, pid int) {
+		runqLock.Acquire(c)
+		v := c.ReadU(runq.Addr(pid % 64))
+		c.WriteU(runq.Addr(pid%64), v+1)
+		c.Busy(60)
+		runqLock.Release(c)
+		vmLock.Acquire(c)
+		slot := vmTable.Addr(pid*64 + int(v)%64)
+		c.WriteU(slot, c.ReadU(slot)+1)
+		c.Busy(40)
+		vmLock.Release(c)
+	}
+
+	readBlock := func(c *workload.Ctx, b int) uint64 {
+		l := fsLocks[b%nLocks]
+		l.Acquire(c)
+		sum := uint64(0)
+		for j := 0; j < blockWords; j++ {
+			sum += c.ReadU(blockAddr(b, j))
+			c.Busy(4)
+		}
+		l.Release(c)
+		return sum
+	}
+	writeBlock := func(c *workload.Ctx, b int, seed uint64) {
+		l := fsLocks[b%nLocks]
+		l.Acquire(c)
+		for j := 0; j < blockWords; j++ {
+			c.WriteU(blockAddr(b, j), seed+uint64(j))
+			c.Busy(4)
+		}
+		l.Release(c)
+	}
+
+	run := func(c *workload.Ctx) {
+		pid := c.ID
+		heap := heaps[pid]
+		var check uint64
+		for f := 0; f < 2; f++ {
+			// Read the (shared) source file through the file cache.
+			var fsum uint64
+			for b := 0; b < srcBlocks; b++ {
+				fsum += readBlock(c, srcBase(f)+b)
+				if b%8 == 0 {
+					kernelWork(c, pid)
+				}
+			}
+			// Compiler passes over the heap: a streaming scan (lexing), a
+			// pointer-chase (AST walking), and a streaming write (codegen).
+			for i := 0; i < heapWords; i++ {
+				c.WriteU(heap.Addr(i), fsum+uint64(i)*2654435761)
+				c.Busy(6)
+				if i%4096 == 0 {
+					kernelWork(c, pid)
+				}
+			}
+			idx := int(fsum) % heapWords
+			for step := 0; step < heapWords/4; step++ {
+				v := c.ReadU(heap.Addr(idx))
+				check += v
+				idx = int(v % uint64(heapWords))
+				c.Busy(10)
+				if step%4096 == 0 {
+					kernelWork(c, pid)
+				}
+			}
+			// Object file output.
+			for b := 0; b < objBlocks; b++ {
+				writeBlock(c, objBase(pid, f)+b, check+uint64(b))
+				if b%8 == 0 {
+					kernelWork(c, pid)
+				}
+			}
+		}
+		// Link: read both objects, write the executable.
+		for f := 0; f < 2; f++ {
+			for b := 0; b < objBlocks; b++ {
+				check += readBlock(c, objBase(pid, f)+b)
+			}
+		}
+		for b := 0; b < objBlocks; b++ {
+			writeBlock(c, exeBase(pid)+b, check)
+			if b%8 == 0 {
+				kernelWork(c, pid)
+			}
+		}
+		c.WriteU(results.Addr(pid), check)
+		bar.Wait(c)
+	}
+
+	verify := func() error {
+		// Native mirror of one process's deterministic computation: source
+		// files are read-only and private heaps are disjoint, so each
+		// process's checksum is independent of interleaving.
+		native := func(pid int) uint64 {
+			var check uint64
+			heap := make([]uint64, heapWords)
+			for f := 0; f < 2; f++ {
+				var fsum uint64
+				for b := 0; b < srcBlocks; b++ {
+					for j := 0; j < blockWords; j++ {
+						fsum += *w.M.Word(blockAddr(srcBase(f)+b, j))
+					}
+				}
+				for i := 0; i < heapWords; i++ {
+					heap[i] = fsum + uint64(i)*2654435761
+				}
+				idx := int(fsum) % heapWords
+				for step := 0; step < heapWords/4; step++ {
+					v := heap[idx]
+					check += v
+					idx = int(v % uint64(heapWords))
+				}
+			}
+			// Link phase: object block b of file f holds (check_f + b) + j;
+			// readBlock sums the 16 words of each.
+			perBlockBase := func(seed uint64) uint64 {
+				s := uint64(0)
+				for j := 0; j < blockWords; j++ {
+					s += seed + uint64(j)
+				}
+				return s
+			}
+			// Both files' object blocks were written with the then-current
+			// check value; file 0's blocks used the post-file-0 check and
+			// file 1's the final compile check. Reproduce the sequence:
+			// (the per-file checks accumulate, so rerun with tracking).
+			checks := [2]uint64{}
+			{
+				var ck uint64
+				h := make([]uint64, heapWords)
+				for f := 0; f < 2; f++ {
+					var fsum uint64
+					for b := 0; b < srcBlocks; b++ {
+						for j := 0; j < blockWords; j++ {
+							fsum += *w.M.Word(blockAddr(srcBase(f)+b, j))
+						}
+					}
+					for i := 0; i < heapWords; i++ {
+						h[i] = fsum + uint64(i)*2654435761
+					}
+					idx := int(fsum) % heapWords
+					for step := 0; step < heapWords/4; step++ {
+						v := h[idx]
+						ck += v
+						idx = int(v % uint64(heapWords))
+					}
+					checks[f] = ck
+				}
+			}
+			for f := 0; f < 2; f++ {
+				for b := 0; b < objBlocks; b++ {
+					check += perBlockBase(checks[f] + uint64(b))
+				}
+			}
+			return check
+		}
+		for pid := 0; pid < procs; pid++ {
+			want := native(pid)
+			got := *w.M.Word(results.Addr(pid))
+			if got != want {
+				return fmt.Errorf("os: process %d checksum = %d, want %d", pid, got, want)
+			}
+			if gw := *w.M.Word(blockAddr(exeBase(pid), 3)); gw != got+3 {
+				return fmt.Errorf("os: process %d executable word = %d, want %d", pid, gw, got+3)
+			}
+		}
+		return nil
+	}
+
+	return &App{Name: "os", Run: run, Verify: verify}, nil
+}

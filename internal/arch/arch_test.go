@@ -1,0 +1,120 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrGeometry(t *testing.T) {
+	a := Addr(0x12345)
+	if a.Line() != 0x12345>>7 {
+		t.Fatalf("Line = %#x", a.Line())
+	}
+	if a.LineAddr() != 0x12345&^127 {
+		t.Fatalf("LineAddr = %#x", a.LineAddr())
+	}
+	if a.Page() != 0x12 {
+		t.Fatalf("Page = %#x", a.Page())
+	}
+}
+
+func TestHomeOfPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MemBytesPerNode = 1 << 20
+	for n := 0; n < 4; n++ {
+		base := cfg.NodeBase(NodeID(n))
+		if cfg.HomeOf(base) != NodeID(n) || cfg.HomeOf(base+Addr(cfg.MemBytesPerNode-1)) != NodeID(n) {
+			t.Fatalf("node %d boundaries misattributed", n)
+		}
+	}
+	if cfg.LocalLine(cfg.NodeBase(2)+256) != 2 {
+		t.Fatalf("LocalLine = %d", cfg.LocalLine(cfg.NodeBase(2)+256))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.CacheSize = 100 },
+		func(c *Config) { c.MSHRs = 0 },
+		func(c *Config) { c.MDCSize = 999 },
+		func(c *Config) { c.MemBytesPerNode = 5000 },
+	}
+	for i, mut := range cases {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestMsgClassification(t *testing.T) {
+	// Replies and data-carriers per the virtual-network split.
+	for _, mt := range []MsgType{MsgPUT, MsgPUTX, MsgNAK, MsgIACK, MsgSWB, MsgXFER, MsgPCLR} {
+		if !mt.IsReply() {
+			t.Fatalf("%v should be a reply", mt)
+		}
+	}
+	for _, mt := range []MsgType{MsgGET, MsgGETX, MsgWB, MsgRPL, MsgFwdGET, MsgFwdGETX, MsgINVAL} {
+		if mt.IsReply() {
+			t.Fatalf("%v should be a request", mt)
+		}
+	}
+	for _, mt := range []MsgType{MsgWB, MsgPUT, MsgPUTX, MsgSWB, MsgPIData, MsgPCData} {
+		if !mt.CarriesData() {
+			t.Fatalf("%v should carry data", mt)
+		}
+	}
+	if MsgGET.CarriesData() || MsgNAK.CarriesData() {
+		t.Fatal("header-only message marked as data-carrying")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if MsgGET.String() != "GET" || MsgPCLR.String() != "PCLR" {
+		t.Fatal("MsgType names wrong")
+	}
+	if MissLocalClean.String() != "Local Clean" {
+		t.Fatal("MissClass names wrong")
+	}
+	if KindFLASH.String() != "FLASH" || KindIdeal.String() != "ideal" {
+		t.Fatal("MachineKind names wrong")
+	}
+	if ProtoBitVector.String() != "bit-vector" {
+		t.Fatal("Protocol names wrong")
+	}
+	for _, p := range []Placement{PlaceRoundRobin, PlaceFirstTouch, PlaceNodeZero} {
+		if p.String() == "" {
+			t.Fatal("empty placement name")
+		}
+	}
+	for _, m := range []PPMode{PPDualIssue, PPSingleIssue, PPNoSpecial} {
+		if m.String() == "" {
+			t.Fatal("empty PP mode name")
+		}
+	}
+}
+
+// Property: every address belongs to exactly one home and LocalLine is
+// consistent with NodeBase.
+func TestHomePartitionProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.MemBytesPerNode = 1 << 20
+	f := func(raw uint32) bool {
+		a := Addr(uint64(raw) % (8 << 20))
+		h := cfg.HomeOf(a)
+		off := uint64(a) - uint64(cfg.NodeBase(h))
+		return off < uint64(cfg.MemBytesPerNode) &&
+			cfg.LocalLine(a) == off>>LineShift
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

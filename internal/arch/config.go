@@ -1,0 +1,180 @@
+package arch
+
+import "fmt"
+
+// Placement selects how physical pages are distributed across node memories.
+type Placement uint8
+
+const (
+	// PlaceRoundRobin interleaves pages across nodes (the paper's default
+	// for the OS workload and the NUMA-friendly baseline).
+	PlaceRoundRobin Placement = iota
+	// PlaceFirstTouch assigns a page to the first node that touches it
+	// (approximates good data placement for partitioned scientific codes).
+	PlaceFirstTouch
+	// PlaceNodeZero puts every page on node 0 (the Section 4.3 hot-spot
+	// experiments and the "original IRIX port" behaviour).
+	PlaceNodeZero
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceFirstTouch:
+		return "first-touch"
+	default:
+		return "node-zero"
+	}
+}
+
+// MachineKind selects the node controller implementation.
+type MachineKind uint8
+
+const (
+	// KindFLASH uses MAGIC with the programmable protocol processor.
+	KindFLASH MachineKind = iota
+	// KindIdeal uses the idealized hardwired controller: all protocol
+	// operations take zero time, queues are infinite.
+	KindIdeal
+)
+
+func (k MachineKind) String() string {
+	if k == KindFLASH {
+		return "FLASH"
+	}
+	return "ideal"
+}
+
+// PPMode selects how the protocol handlers are scheduled/compiled, for the
+// Section 5.3 ablations.
+type PPMode uint8
+
+const (
+	// PPDualIssue is the real MAGIC PP: special instructions enabled,
+	// statically scheduled dual-issue.
+	PPDualIssue PPMode = iota
+	// PPSingleIssue disables dual issue but keeps the special instructions.
+	PPSingleIssue
+	// PPNoSpecial expands special instructions into DLX substitution
+	// sequences (Table 5.3) and schedules single-issue — the "non-optimized
+	// PP" of Section 5.3.
+	PPNoSpecial
+)
+
+func (m PPMode) String() string {
+	switch m {
+	case PPDualIssue:
+		return "dual-issue"
+	case PPSingleIssue:
+		return "single-issue"
+	default:
+		return "single-issue+DLX-substitution"
+	}
+}
+
+// Protocol selects which coherence protocol program MAGIC runs — the
+// machine's flexibility in action.
+type Protocol uint8
+
+const (
+	// ProtoDynPtr is the FLASH prototype's dynamic pointer allocation
+	// directory (Section 3.3 of the paper).
+	ProtoDynPtr Protocol = iota
+	// ProtoBitVector is a DASH-style full bit-vector directory: an
+	// alternative handler program for the same machine (up to 32 nodes).
+	ProtoBitVector
+)
+
+func (p Protocol) String() string {
+	if p == ProtoBitVector {
+		return "bit-vector"
+	}
+	return "dynamic-pointer-allocation"
+}
+
+// Config describes one simulated machine.
+type Config struct {
+	Kind  MachineKind
+	Nodes int // number of processors/nodes (16 for most experiments)
+
+	// Processor cache geometry.
+	CacheSize int // bytes (paper: 1 MB, 64 KB, 16 KB, 4 KB)
+	CacheWays int // associativity (paper: 2)
+	MSHRs     int // outstanding misses (paper: 4)
+
+	// Memory placement for application pages.
+	Placement Placement
+
+	// MAGIC knobs.
+	Speculation bool     // inbox-initiated speculative memory reads (Table 5.1)
+	PPMode      PPMode   // Section 5.3 ablations
+	Protocol    Protocol // coherence protocol program (FLASH machines)
+	MDCSize     int      // MAGIC data cache bytes (paper: 64 KB)
+	MDCWays     int      // MDC associativity (paper: 2)
+
+	Timing Timing
+
+	// MemBytesPerNode sizes each node's local memory slice. Placement maps
+	// pages onto nodes; this only bounds the directory.
+	MemBytesPerNode int
+}
+
+// DefaultConfig returns the 16-processor FLASH configuration of Section 3.
+func DefaultConfig() Config {
+	return Config{
+		Kind:            KindFLASH,
+		Nodes:           16,
+		CacheSize:       1 << 20,
+		CacheWays:       2,
+		MSHRs:           4,
+		Placement:       PlaceFirstTouch,
+		Speculation:     true,
+		PPMode:          PPDualIssue,
+		MDCSize:         64 << 10,
+		MDCWays:         2,
+		Timing:          DefaultTiming(),
+		MemBytesPerNode: 32 << 20,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("arch: Nodes must be positive, got %d", c.Nodes)
+	}
+	if c.CacheSize <= 0 || c.CacheSize%(LineSize*c.CacheWays) != 0 {
+		return fmt.Errorf("arch: CacheSize %d not divisible into %d-way sets of %d-byte lines", c.CacheSize, c.CacheWays, LineSize)
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("arch: MSHRs must be positive, got %d", c.MSHRs)
+	}
+	if c.Kind == KindFLASH {
+		if c.MDCSize <= 0 || c.MDCSize%(LineSize*c.MDCWays) != 0 {
+			return fmt.Errorf("arch: MDCSize %d not divisible into %d-way sets", c.MDCSize, c.MDCWays)
+		}
+	}
+	if c.MemBytesPerNode <= 0 || c.MemBytesPerNode%PageSize != 0 {
+		return fmt.Errorf("arch: MemBytesPerNode %d must be a positive multiple of the page size", c.MemBytesPerNode)
+	}
+	return nil
+}
+
+// HomeOf computes the home node of an address under the static interleaved
+// layout: the machine's physical address space is the concatenation of the
+// node memories, and placement policies choose which physical page backs
+// each virtual page. Here physical addresses encode the node directly.
+func (c *Config) HomeOf(a Addr) NodeID {
+	return NodeID(uint64(a) / uint64(c.MemBytesPerNode) % uint64(c.Nodes))
+}
+
+// NodeBase returns the first physical address owned by node n.
+func (c *Config) NodeBase(n NodeID) Addr {
+	return Addr(uint64(n) * uint64(c.MemBytesPerNode))
+}
+
+// LocalLine returns the node-local line index of address a within its home
+// node's memory (used to index the directory).
+func (c *Config) LocalLine(a Addr) uint64 {
+	return (uint64(a) % uint64(c.MemBytesPerNode)) >> LineShift
+}

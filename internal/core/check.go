@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/ideal"
+	"flashsim/internal/protocol"
+)
+
+// CheckCoherence verifies directory/cache consistency on a quiesced
+// machine:
+//
+//   - no line is pending and no invalidation acks are outstanding;
+//   - a dirty line is Modified in exactly its owner's cache and nowhere
+//     else;
+//   - every cached copy of a clean line is recorded in the sharer set (the
+//     LOCAL bit for the home's own processor, pool entries otherwise);
+//   - on FLASH nodes, the pointer pool's free list plus all sharer-list
+//     entries account for every pool entry (no leaks, no cycles).
+//
+// Replacement hints make the recorded sharer set exact on a quiesced
+// machine, but the check only requires it to be a superset of the true
+// copy set, which is the safety-critical direction.
+func (m *Machine) CheckCoherence() error {
+	// Collect cache contents per line.
+	type copyInfo struct {
+		mods    []arch.NodeID
+		shareds []arch.NodeID
+	}
+	lines := make(map[uint64]*copyInfo)
+	for i, n := range m.Nodes {
+		for l, st := range n.CPU.Cache.Lines() {
+			ci := lines[l]
+			if ci == nil {
+				ci = &copyInfo{}
+				lines[l] = ci
+			}
+			if st == cpu.Modified {
+				ci.mods = append(ci.mods, arch.NodeID(i))
+			} else {
+				ci.shareds = append(ci.shareds, arch.NodeID(i))
+			}
+		}
+	}
+
+	dirOf := func(line uint64) (interface {
+		state() (dirty, pending, local bool, owner arch.NodeID, sharers []arch.NodeID, acks int)
+	}, error) {
+		addr := arch.Addr(line << arch.LineShift)
+		home := m.Cfg.HomeOf(addr)
+		n := m.Nodes[home]
+		if n.Magic != nil {
+			d, err := m.Prog.Layout.Decode(n.Magic.PP.Mem, m.Cfg.LocalLine(addr))
+			if err != nil {
+				return nil, err
+			}
+			return flashDir{d}, nil
+		}
+		snap := n.Ideal.Snapshot()
+		return idealDir{snap[line]}, nil
+	}
+
+	check := func(line uint64, ci *copyInfo) error {
+		d, err := dirOf(line)
+		if err != nil {
+			return err
+		}
+		dirty, pending, local, owner, sharers, acks := d.state()
+		home := m.Cfg.HomeOf(arch.Addr(line << arch.LineShift))
+		if pending {
+			return fmt.Errorf("line %#x: pending after quiesce", line)
+		}
+		if acks != 0 {
+			return fmt.Errorf("line %#x: %d acks outstanding after quiesce", line, acks)
+		}
+		if ci == nil {
+			ci = &copyInfo{}
+		}
+		if dirty {
+			if len(ci.mods) != 1 || ci.mods[0] != owner {
+				return fmt.Errorf("line %#x: dirty at owner %d but Modified copies are %v", line, owner, ci.mods)
+			}
+			if len(ci.shareds) != 0 {
+				return fmt.Errorf("line %#x: dirty but shared copies exist at %v", line, ci.shareds)
+			}
+			return nil
+		}
+		if len(ci.mods) != 0 {
+			return fmt.Errorf("line %#x: clean in directory but Modified at %v", line, ci.mods)
+		}
+		recorded := make(map[arch.NodeID]bool)
+		for _, s := range sharers {
+			recorded[s] = true
+		}
+		if local {
+			recorded[home] = true
+		}
+		for _, s := range ci.shareds {
+			if !recorded[s] {
+				return fmt.Errorf("line %#x: node %d holds a copy but is not recorded (recorded %v)", line, s, recorded)
+			}
+		}
+		return nil
+	}
+
+	for line, ci := range lines {
+		if err := check(line, ci); err != nil {
+			return err
+		}
+	}
+
+	// Pool accounting on FLASH machines running the dynamic pointer
+	// allocation protocol: free entries plus all recorded sharer entries
+	// must cover the pool exactly.
+	if m.Prog != nil && m.Prog.Layout.Proto == arch.ProtoDynPtr {
+		lay := m.Prog.Layout
+		for i, n := range m.Nodes {
+			free, err := lay.FreeCount(n.Magic.PP.Mem, n.Magic.PP.Reg(24))
+			if err != nil {
+				return fmt.Errorf("node %d: %w", i, err)
+			}
+			inUse := 0
+			nlines := uint64(m.Cfg.MemBytesPerNode / arch.LineSize)
+			for l := uint64(0); l < nlines; l++ {
+				d, err := lay.Decode(n.Magic.PP.Mem, l)
+				if err != nil {
+					return fmt.Errorf("node %d line %d: %w", i, l, err)
+				}
+				inUse += len(d.Sharers)
+			}
+			if free+inUse != int(lay.PoolSize) {
+				return fmt.Errorf("node %d: pool leak: free %d + in-use %d != %d", i, free, inUse, lay.PoolSize)
+			}
+		}
+	}
+	return nil
+}
+
+type flashDir struct{ d protocol.DirInfo }
+
+func (f flashDir) state() (bool, bool, bool, arch.NodeID, []arch.NodeID, int) {
+	return f.d.Dirty, f.d.Pending, f.d.Local, f.d.Owner, f.d.Sharers, f.d.Acks
+}
+
+type idealDir struct{ d ideal.DirState }
+
+func (f idealDir) state() (bool, bool, bool, arch.NodeID, []arch.NodeID, int) {
+	return f.d.Dirty, f.d.Pending, f.d.Local, f.d.Owner, f.d.Sharers, f.d.Acks
+}

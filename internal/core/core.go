@@ -1,0 +1,141 @@
+// Package core assembles whole machines — FLASH nodes built around the
+// programmable MAGIC controller, or the idealized hardwired machine — and
+// provides the run driver the examples, experiments, and benchmarks use.
+// This is the public face of the library: construct a Machine from an
+// arch.Config, attach one reference source per processor, and Run.
+package core
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/ideal"
+	"flashsim/internal/magic"
+	"flashsim/internal/memsys"
+	"flashsim/internal/network"
+	"flashsim/internal/protocol"
+	"flashsim/internal/sim"
+)
+
+// Controller is the node-controller abstraction shared by MAGIC and the
+// idealized machine.
+type Controller interface {
+	cpu.Ctl
+	network.Sink
+	Attach(*cpu.CPU)
+}
+
+// Node is one FLASH node: processor + cache, controller, and local memory.
+type Node struct {
+	CPU *cpu.CPU
+	Mem *memsys.Memory
+	Ctl Controller
+
+	// Magic is non-nil on FLASH machines.
+	Magic *magic.Magic
+	// Ideal is non-nil on idealized machines.
+	Ideal *ideal.Controller
+}
+
+// Machine is a complete simulated multiprocessor.
+type Machine struct {
+	Cfg     arch.Config
+	Eng     *sim.Engine
+	Net     *network.Network
+	Nodes   []*Node
+	Backing []uint64 // machine-wide data store, 8-byte words
+	Prog    *protocol.Program
+
+	// Elapsed is the parallel execution time: the cycle at which the last
+	// processor retired its final reference.
+	Elapsed sim.Cycle
+
+	running int
+}
+
+// New builds a machine. The configuration's network transit latency is
+// derived from the node count unless explicitly overridden beforehand.
+func New(cfg arch.Config) (*Machine, error) {
+	if cfg.Kind == arch.KindIdeal {
+		ideal := arch.IdealTiming()
+		// Preserve any caller overrides of the shared parameters.
+		ideal.MemAccess = cfg.Timing.MemAccess
+		ideal.MemLineBusy = cfg.Timing.MemLineBusy
+		cfg.Timing = ideal
+	}
+	if cfg.Timing.NetTransit == 0 {
+		cfg.Timing.NetTransit = uint32(network.AvgTransitFor(cfg.Nodes))
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		Cfg:     cfg,
+		Eng:     sim.NewEngine(),
+		Backing: make([]uint64, cfg.Nodes*cfg.MemBytesPerNode/8),
+	}
+	m.Net = network.New(m.Eng, cfg.Nodes, sim.Cycle(cfg.Timing.NetTransit))
+
+	if cfg.Kind == arch.KindFLASH {
+		prog, err := protocol.Build(&m.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		m.Prog = prog
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		id := arch.NodeID(i)
+		mem := memsys.New(m.Cfg.Timing)
+		n := &Node{Mem: mem}
+		switch cfg.Kind {
+		case arch.KindFLASH:
+			mg := magic.New(id, m.Eng, &m.Cfg, m.Prog, mem, m.Net)
+			n.Magic = mg
+			n.Ctl = mg
+		case arch.KindIdeal:
+			ic := ideal.New(id, m.Eng, &m.Cfg, mem, m.Net)
+			n.Ideal = ic
+			n.Ctl = ic
+		}
+		n.CPU = cpu.New(id, m.Eng, &m.Cfg, n.Ctl, m.Backing)
+		n.Ctl.Attach(n.CPU)
+		m.Net.Attach(id, n.Ctl)
+		m.Nodes = append(m.Nodes, n)
+	}
+	return m, nil
+}
+
+// Word returns a pointer to the backing-store word at addr, for untimed
+// initialization by workloads before the simulation starts.
+func (m *Machine) Word(a arch.Addr) *uint64 { return &m.Backing[a/8] }
+
+// Run attaches one reference source per processor, runs the machine until
+// every source is exhausted and all outstanding traffic drains, and records
+// the parallel execution time. limit (0 = none) bounds the simulation in
+// cycles as a hang guard.
+func (m *Machine) Run(sources []cpu.RefSource, limit sim.Cycle) error {
+	if len(sources) != len(m.Nodes) {
+		return fmt.Errorf("core: %d sources for %d processors", len(sources), len(m.Nodes))
+	}
+	m.running = len(sources)
+	for i, n := range m.Nodes {
+		n.CPU.SetSource(sources[i], func(at sim.Cycle) {
+			m.running--
+			if at > m.Elapsed {
+				m.Elapsed = at
+			}
+		})
+		n.CPU.Start()
+	}
+	m.Eng.Limit = limit
+	if err := m.Eng.Run(); err != nil {
+		return err
+	}
+	if m.running != 0 {
+		return fmt.Errorf("core: deadlock: %d processors never finished (cycle %d)", m.running, m.Eng.Now())
+	}
+	return nil
+}

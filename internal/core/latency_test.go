@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+)
+
+func testConfig(kind arch.MachineKind) arch.Config {
+	cfg := arch.DefaultConfig()
+	cfg.Kind = kind
+	cfg.MemBytesPerNode = 1 << 20
+	return cfg
+}
+
+// TestTable33 reproduces the no-contention read miss latencies of Table 3.3
+// for both machines. The FLASH figures depend on our handler code, so the
+// tolerances are loose; the ideal figures follow directly from Table 3.2
+// and must be tight.
+func TestTable33(t *testing.T) {
+	paper := map[string]struct {
+		ideal, flash, occ int
+	}{
+		"Local read miss, clean in local memory": {24, 27, 11},
+		"Local read miss, dirty in remote cache": {100, 143, 53},
+		"Remote read miss, clean in home memory": {92, 111, 16},
+		"Remote read miss, dirty in home cache":  {100, 145, 53},
+		"Remote read miss, dirty in 3rd node":    {136, 191, 61},
+	}
+	for _, kind := range []arch.MachineKind{arch.KindIdeal, arch.KindFLASH} {
+		cfg := testConfig(kind)
+		for _, sc := range MissScenarios(&cfg) {
+			lat, occ, err := ProbeMiss(cfg, sc)
+			if err != nil {
+				t.Fatalf("%v %s: %v", kind, sc.Name, err)
+			}
+			want := paper[sc.Name].ideal
+			tol := 4
+			if kind == arch.KindFLASH {
+				want = paper[sc.Name].flash
+				tol = 25
+			}
+			t.Logf("%-5v %-45s latency=%3d (paper %3d)  ppocc=%d (paper %d)",
+				kind, sc.Name, lat, want, occ, paper[sc.Name].occ)
+			if int(lat) < want-tol || int(lat) > want+tol {
+				t.Errorf("%v %s: latency %d, paper %d (tolerance %d)", kind, sc.Name, lat, want, tol)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheFillLookup(t *testing.T) {
+	c := NewCache(4096, 2) // 16 sets
+	if st := c.Lookup(5); st != Invalid {
+		t.Fatalf("empty cache hit: %v", st)
+	}
+	c.Fill(5, Shared)
+	if st := c.Lookup(5); st != Shared {
+		t.Fatalf("state = %v, want S", st)
+	}
+	c.Fill(5, Modified) // upgrade in place
+	if st := c.Lookup(5); st != Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+	if len(c.Lines()) != 1 {
+		t.Fatalf("lines = %v", c.Lines())
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(4096, 2) // 16 sets: lines 1, 17, 33 share set 1
+	c.Fill(1, Shared)
+	c.Fill(17, Modified)
+	c.Lookup(1) // touch 1: now 17 is LRU
+	victim, vstate, evicted := c.Fill(33, Shared)
+	if !evicted || victim != 17 || vstate != Modified {
+		t.Fatalf("evicted %v %d %v, want 17 M", evicted, victim, vstate)
+	}
+	if c.Lookup(1) == Invalid || c.Lookup(33) == Invalid {
+		t.Fatal("resident lines lost")
+	}
+	if c.Lookup(17) != Invalid {
+		t.Fatal("victim still resident")
+	}
+}
+
+func TestCacheSetStateInvalidate(t *testing.T) {
+	c := NewCache(4096, 2)
+	c.Fill(9, Modified)
+	if had := c.SetState(9, Shared); had != Modified {
+		t.Fatalf("had = %v, want M", had)
+	}
+	if had := c.SetState(9, Invalid); had != Shared {
+		t.Fatalf("had = %v, want S", had)
+	}
+	if c.Lookup(9) != Invalid {
+		t.Fatal("line still resident after invalidate")
+	}
+	if had := c.SetState(9, Invalid); had != Invalid {
+		t.Fatalf("non-resident SetState = %v, want I", had)
+	}
+}
+
+func TestSameSet(t *testing.T) {
+	c := NewCache(4096, 2)
+	if !c.SameSet(1, 17) || c.SameSet(1, 2) {
+		t.Fatal("set mapping wrong")
+	}
+}
+
+// Property: the cache never holds more lines per set than its
+// associativity, and a filled line is always immediately visible.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(lines []uint16) bool {
+		c := NewCache(2048, 2) // 8 sets
+		for _, l := range lines {
+			line := uint64(l)
+			c.Fill(line, Shared)
+			if c.Lookup(line) == Invalid {
+				return false
+			}
+		}
+		perSet := map[int]int{}
+		for l := range c.Lines() {
+			perSet[int(l%8)]++
+		}
+		for _, n := range perSet {
+			if n > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,578 @@
+package cpu
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/sim"
+)
+
+// Trace, when non-nil, receives a line for notable cache events
+// (debugging aid; nil in normal runs).
+var Trace func(format string, args ...interface{})
+
+// RMWOp selects the atomic operation of a RefRMW reference.
+type RMWOp uint8
+
+const (
+	RMWSwap RMWOp = iota // out = old; mem = operand
+	RMWAdd               // out = old; mem = old + operand
+)
+
+// Ref is one memory reference from the workload. Busy is the number of
+// processor instructions executed since the previous reference (charged at
+// 4 instructions per system cycle: a 400-MIPS processor on a 100 MHz
+// clock). Sync attributes the reference's busy and stall time to the
+// synchronization category.
+//
+// Data values flow through the machine's backing store at simulated
+// completion order: reads deposit into *Out, writes carry WVal.
+type Ref struct {
+	Kind arch.RefKind
+	Addr arch.Addr
+	Busy uint32
+	Sync bool
+	RMW  RMWOp
+	WVal uint64
+	Out  *uint64
+}
+
+// RefSource produces a processor's reference stream. Next is called from
+// the simulation goroutine and may block until the workload thread produces
+// the next reference; it must never depend on another simulated processor
+// making progress except through simulated memory.
+type RefSource interface {
+	Next() (Ref, bool)
+	// ReadDone is invoked after a read or RMW completes and its Out value
+	// is filled, releasing the workload thread.
+	ReadDone()
+}
+
+// Ctl is the node controller as seen from the processor: MAGIC's PI or the
+// idealized controller. FromProc is invoked when the message has crossed
+// the processor bus, at simulated time `at`.
+type Ctl interface {
+	FromProc(m arch.Msg, at sim.Cycle)
+}
+
+// Stats is the per-processor execution-time breakdown and miss census.
+type Stats struct {
+	Busy       sim.Cycle // compute cycles
+	ReadStall  sim.Cycle
+	WriteStall sim.Cycle
+	SyncStall  sim.Cycle
+	ContStall  sim.Cycle // bus-contention cycles folded into issue latency
+
+	Refs, Reads, Writes, RMWs uint64
+	Misses, ReadMisses        uint64
+	UpgradeMisses             uint64
+	MissClass                 [arch.NumMissClasses]uint64
+	Naks                      uint64
+	Writebacks, Hints         uint64
+
+	FinishedAt sim.Cycle
+	Finished   bool
+}
+
+// MissRate returns overall misses per reference.
+func (s *Stats) MissRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Refs)
+}
+
+type blockReason uint8
+
+const (
+	blockNone       blockReason = iota
+	blockMiss                   // waiting for a specific MSHR to complete
+	blockStructural             // waiting for any MSHR to free / conflict to clear
+)
+
+type mshrEntry struct {
+	valid   bool
+	line    uint64
+	kind    arch.MsgType // MsgGET or MsgGETX
+	ref     Ref          // the triggering reference (for Out/WVal/classify)
+	hasRef  bool         // whether ref needs completion actions
+	waiting bool         // the processor is blocked on this entry
+	upgrade bool         // line was Shared when the miss was issued
+
+	// invalOnFill is set when an invalidation arrives for a line with a
+	// read miss outstanding: the read was serialized before the writer at
+	// the home, so it completes with the returned data, but the copy must
+	// not remain cached.
+	invalOnFill bool
+
+	// retries counts NAK bounces for this miss; the retry backoff grows
+	// exponentially with a node-dependent jitter so that deterministic
+	// retry convoys on contended lines dissolve instead of livelocking.
+	retries int
+}
+
+// CPU is one node's compute processor.
+type CPU struct {
+	ID    arch.NodeID
+	Cache *Cache
+	Bus   sim.Server
+	Stats Stats
+
+	eng   *sim.Engine
+	t     arch.Timing
+	cfg   *arch.Config
+	ctl   Ctl
+	src   RefSource
+	mem   []uint64 // machine backing store (shared; accessed only from the sim goroutine)
+	chunk sim.Cycle
+
+	mshrs []mshrEntry
+	inUse int
+
+	pending    *Ref // reference being retried/blocked
+	pendingAt  sim.Cycle
+	blocked    blockReason
+	blockEntry int
+
+	instFrac uint32 // leftover instructions (< 4) not yet charged as a cycle
+	running  bool
+	done     bool
+	onFinish func(at sim.Cycle)
+}
+
+// New creates a CPU. mem is the machine-wide backing store (8-byte words
+// indexed by physical address / 8).
+func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, ctl Ctl, mem []uint64) *CPU {
+	return &CPU{
+		ID:    id,
+		Cache: NewCache(cfg.CacheSize, cfg.CacheWays),
+		eng:   eng,
+		t:     cfg.Timing,
+		cfg:   cfg,
+		ctl:   ctl,
+		mem:   mem,
+		chunk: 16,
+		mshrs: make([]mshrEntry, cfg.MSHRs),
+	}
+}
+
+// SetSource attaches the reference stream; onFinish fires when it ends.
+func (c *CPU) SetSource(src RefSource, onFinish func(at sim.Cycle)) {
+	c.src = src
+	c.onFinish = onFinish
+}
+
+// Start schedules the processor's first fetch.
+func (c *CPU) Start() {
+	c.eng.At(c.eng.Now(), func() { c.run(c.eng.Now()) })
+}
+
+// run consumes references starting at virtual time vt, processing cache
+// hits inline and yielding an event every `chunk` cycles so that the rest
+// of the machine interleaves.
+func (c *CPU) run(vt sim.Cycle) {
+	if c.done {
+		return
+	}
+	limit := vt + c.chunk
+	for {
+		if c.pending == nil {
+			ref, ok := c.src.Next()
+			if !ok {
+				c.done = true
+				c.Stats.Finished = true
+				c.Stats.FinishedAt = vt
+				if c.onFinish != nil {
+					c.onFinish(vt)
+				}
+				return
+			}
+			vt += c.charge(&ref)
+			c.pending = &ref
+			c.pendingAt = vt
+		}
+		if !c.tryRef(vt) {
+			return // blocked; resume() restarts us
+		}
+		c.pending = nil
+		if vt >= limit {
+			c.eng.At(vt, func() { c.run(vt) })
+			return
+		}
+	}
+}
+
+// charge converts the reference's busy instruction count to cycles and
+// accounts them.
+func (c *CPU) charge(ref *Ref) sim.Cycle {
+	inst := ref.Busy + c.instFrac
+	cyc := sim.Cycle(inst / 4)
+	c.instFrac = inst % 4
+	if ref.Sync {
+		c.Stats.SyncStall += cyc
+	} else {
+		c.Stats.Busy += cyc
+	}
+	c.Stats.Refs++
+	switch ref.Kind {
+	case arch.RefRead:
+		c.Stats.Reads++
+	case arch.RefWrite:
+		c.Stats.Writes++
+	default:
+		c.Stats.RMWs++
+	}
+	return cyc
+}
+
+// tryRef attempts the pending reference at time vt. It returns false if the
+// processor blocked.
+func (c *CPU) tryRef(vt sim.Cycle) bool {
+	ref := c.pending
+	line := ref.Addr.Line()
+
+	// An outstanding miss to the same line?
+	if e := c.findMSHR(line); e >= 0 {
+		ent := &c.mshrs[e]
+		if ref.Kind == arch.RefWrite && ent.kind == arch.MsgGETX {
+			// Merge the write into the outstanding exclusive miss: apply the
+			// store now (it completes with the miss) and continue.
+			c.store(ref)
+			return true
+		}
+		// Reads (and RMWs, and writes behind a read miss) wait for the line.
+		c.block(blockMiss, e, vt)
+		ent.waiting = true
+		return false
+	}
+
+	st := c.Cache.Lookup(line)
+	switch ref.Kind {
+	case arch.RefRead:
+		if st != Invalid {
+			c.load(ref)
+			c.src.ReadDone()
+			return true
+		}
+	case arch.RefWrite:
+		if st == Modified {
+			c.store(ref)
+			return true
+		}
+	case arch.RefRMW:
+		if st == Modified {
+			c.rmw(ref)
+			c.src.ReadDone()
+			return true
+		}
+	}
+
+	// Miss. Structural checks: one outstanding miss per cache set, and a
+	// free MSHR.
+	if c.inUse == len(c.mshrs) || c.setConflict(line) {
+		c.block(blockStructural, -1, vt)
+		return false
+	}
+
+	// Allocate and issue.
+	e := c.allocMSHR()
+	ent := &c.mshrs[e]
+	*ent = mshrEntry{valid: true, line: line, ref: *ref, hasRef: true}
+	ent.kind = arch.MsgGETX
+	if ref.Kind == arch.RefRead {
+		ent.kind = arch.MsgGET
+	}
+	ent.upgrade = st == Shared
+	c.Stats.Misses++
+	if ref.Kind == arch.RefRead {
+		c.Stats.ReadMisses++
+	}
+	if ent.upgrade {
+		c.Stats.UpgradeMisses++
+	}
+	c.issue(e, vt)
+
+	if ref.Kind == arch.RefRead || ref.Kind == arch.RefRMW {
+		c.block(blockMiss, e, vt)
+		ent.waiting = true
+		return false
+	}
+	// Non-blocking write: the store value enters the backing store now, in
+	// program order with any later writes that merge into this MSHR. (The
+	// line becomes architecturally owned only at miss completion; applying
+	// the value at issue keeps same-word write ordering correct.)
+	c.store(ref)
+	return true
+}
+
+// issue sends the miss request across the processor bus to the controller.
+func (c *CPU) issue(e int, vt sim.Cycle) {
+	ent := &c.mshrs[e]
+	req := vt + sim.Cycle(c.t.MissDetect)
+	start, end := c.Bus.Reserve(req, sim.Cycle(c.t.BusTransit))
+	c.Stats.ContStall += start - req
+	m := arch.Msg{
+		Type: ent.kind,
+		Addr: arch.Addr(ent.line << arch.LineShift),
+		Src:  c.ID,
+		Req:  c.ID,
+		Dst:  c.ID,
+		DB:   -1,
+	}
+	c.ctl.FromProc(m, end)
+}
+
+// Deliver completes an outstanding miss (PIData) or bounces it (NAK). The
+// controller calls it when the message's first data word crosses the
+// processor bus at time `at`. Aux bit 0 of a data reply marks data that was
+// retrieved from a processor cache (dirty somewhere), bit 1 marks a remote
+// source node that is not the home — together they classify the miss.
+func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
+	line := m.Addr.Line()
+	e := c.findMSHR(line)
+	if e < 0 {
+		panic(fmt.Sprintf("cpu%d: delivery for line %#x with no MSHR", c.ID, line))
+	}
+	ent := &c.mshrs[e]
+
+	if m.Type == arch.MsgNAK {
+		c.Stats.Naks++
+		// Retry after an exponential, node-jittered backoff; the entry
+		// stays allocated.
+		sh := ent.retries
+		if sh > 5 {
+			sh = 5
+		}
+		ent.retries++
+		jitter := (uint64(c.ID)*13 + uint64(ent.retries)*7) % 23
+		delay := sim.Cycle(c.t.NakBackoff)<<uint(sh) + sim.Cycle(jitter)
+		c.eng.At(at+delay, func() { c.issue(e, c.eng.Now()) })
+		return
+	}
+
+	// Fill the cache; stream the line across the bus. A fill marked
+	// invalidate-on-fill satisfies its reference but leaves no residency.
+	busStart, _ := c.Bus.Reserve(at, sim.Cycle(c.t.BusLineBusy))
+	fillAt := busStart
+	if !ent.invalOnFill {
+		newState := Shared
+		if ent.kind == arch.MsgGETX {
+			newState = Modified
+		}
+		victim, vstate, evicted := c.Cache.Fill(line, newState)
+		if evicted {
+			c.evict(victim, vstate, fillAt)
+		}
+		if Trace != nil {
+			Trace("%8d node%d fill line=%#x %v", fillAt, c.ID, line, newState)
+		}
+	} else if Trace != nil {
+		Trace("%8d node%d fill-skip (invalOnFill) line=%#x", fillAt, c.ID, line)
+	}
+
+	// Classify read misses per Table 4.1.
+	if ent.hasRef && ent.ref.Kind == arch.RefRead {
+		c.Stats.MissClass[c.classify(m)]++
+	}
+
+	// Apply the triggering reference's data action and release its thread.
+	// If the entry's own reference was a read or RMW, the processor was
+	// blocked on exactly this reference, so completing it also consumes the
+	// pending slot; a processor blocked on someone else's entry (a read
+	// arriving behind an outstanding write miss) retries its reference.
+	consumed := false
+	if ent.hasRef {
+		switch ent.ref.Kind {
+		case arch.RefRead:
+			c.load(&ent.ref)
+		case arch.RefWrite:
+			// Already applied at issue (see tryRef).
+		case arch.RefRMW:
+			c.rmw(&ent.ref)
+		}
+		if ent.ref.Kind != arch.RefWrite {
+			c.src.ReadDone()
+			consumed = true
+		}
+	}
+
+	waiting := ent.waiting
+	ent.valid = false
+	ent.hasRef = false
+	ent.waiting = false
+	c.inUse--
+	if waiting {
+		c.resume(fillAt, consumed)
+	} else if c.blocked == blockStructural {
+		c.resume(fillAt, false)
+	}
+}
+
+// classify maps a completed read miss to the five classes of Table 4.1.
+func (c *CPU) classify(m arch.Msg) arch.MissClass {
+	local := c.cfg.HomeOf(m.Addr) == c.ID
+	dirty := m.Aux&1 != 0
+	third := m.Aux&2 != 0
+	switch {
+	case local && !dirty:
+		return arch.MissLocalClean
+	case local:
+		return arch.MissLocalDirty
+	case !dirty:
+		return arch.MissRemoteClean
+	case third:
+		return arch.MissRemoteDirty3rd
+	default:
+		return arch.MissRemoteDirtyHome
+	}
+}
+
+// resume restarts the processor after a miss completion if it was blocked.
+// consumed reports that the pending reference itself was the completed miss.
+func (c *CPU) resume(at sim.Cycle, consumed bool) {
+	if c.blocked == blockNone || c.done {
+		return
+	}
+	c.blocked = blockNone
+	// Charge the stall to the pending reference's category. A completion
+	// can land before the blocked reference's virtual issue time (the
+	// processor runs ahead of the clock within a chunk); that is a zero
+	// stall, not an underflow.
+	if at < c.pendingAt {
+		at = c.pendingAt
+	}
+	ref := c.pending
+	stall := at - c.pendingAt
+	switch {
+	case ref.Sync:
+		c.Stats.SyncStall += stall
+	case ref.Kind == arch.RefRead:
+		c.Stats.ReadStall += stall
+	default:
+		c.Stats.WriteStall += stall
+	}
+	c.pendingAt = at
+	if consumed {
+		c.pending = nil
+	}
+	c.eng.At(at, func() { c.run(at) })
+}
+
+func (c *CPU) block(r blockReason, entry int, vt sim.Cycle) {
+	c.blocked = r
+	c.blockEntry = entry
+	c.pendingAt = vt
+}
+
+// evict disposes of a victim line: Modified lines are written back, Shared
+// lines produce a replacement hint.
+func (c *CPU) evict(line uint64, st LineState, at sim.Cycle) {
+	addr := arch.Addr(line << arch.LineShift)
+	if st == Modified {
+		c.Stats.Writebacks++
+		_, end := c.Bus.Reserve(at, sim.Cycle(c.t.BusLineBusy))
+		c.ctl.FromProc(arch.Msg{Type: arch.MsgWB, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}, end)
+		return
+	}
+	c.Stats.Hints++
+	if Trace != nil {
+		Trace("%8d node%d hint line=%#x", at, c.ID, line)
+	}
+	_, end := c.Bus.Reserve(at, sim.Cycle(c.t.BusTransit))
+	c.ctl.FromProc(arch.Msg{Type: arch.MsgRPL, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}, end)
+}
+
+// Intervene performs a controller-initiated cache transaction: an
+// invalidation (PIInval), a downgrade retrieving dirty data (PIDowngr), or
+// a flush retrieving data and invalidating (PIFlush). done is called with
+// the response type and, for data responses, the time the first double
+// word is available.
+func (c *CPU) Intervene(kind arch.MsgType, addr arch.Addr, at sim.Cycle, done func(resp arch.MsgType, firstData sim.Cycle)) {
+	line := addr.Line()
+	if kind == arch.MsgPIInval {
+		if e := c.findMSHR(line); e >= 0 && c.mshrs[e].kind == arch.MsgGET {
+			c.mshrs[e].invalOnFill = true
+		}
+	}
+	st := c.Cache.Lookup(line)
+	if Trace != nil {
+		Trace("%8d node%d intervene %v line=%#x st=%v", c.eng.Now(), c.ID, kind, line, st)
+	}
+	if kind == arch.MsgPIInval || st != Modified {
+		// State-only transaction: 15 cycles to probe/invalidate.
+		_, end := c.Bus.Reserve(at, sim.Cycle(c.t.PCacheState))
+		if kind != arch.MsgPIDowngr {
+			c.Cache.SetState(line, Invalid)
+		}
+		resp := arch.MsgPCClean
+		c.eng.At(end, func() { done(resp, end) })
+		return
+	}
+	// Retrieve dirty data: 20 cycles to the first double word, then the
+	// line streams over the bus. The requester proceeds critical-word-first
+	// while the rest of the line streams.
+	dur := sim.Cycle(c.t.PCacheData) + sim.Cycle(c.t.BusLineBusy)
+	start, _ := c.Bus.Reserve(at, dur)
+	first := start + sim.Cycle(c.t.PCacheData)
+	if kind == arch.MsgPIFlush {
+		c.Cache.SetState(line, Invalid)
+	} else {
+		c.Cache.SetState(line, Shared)
+	}
+	c.eng.At(first, func() { done(arch.MsgPCData, first) })
+}
+
+// --- backing-store access (sim goroutine only) ---
+
+func (c *CPU) load(ref *Ref) {
+	if ref.Out != nil {
+		*ref.Out = c.mem[ref.Addr/8]
+	}
+}
+
+func (c *CPU) store(ref *Ref) {
+	c.mem[ref.Addr/8] = ref.WVal
+}
+
+func (c *CPU) rmw(ref *Ref) {
+	old := c.mem[ref.Addr/8]
+	if ref.Out != nil {
+		*ref.Out = old
+	}
+	switch ref.RMW {
+	case RMWSwap:
+		c.mem[ref.Addr/8] = ref.WVal
+	case RMWAdd:
+		c.mem[ref.Addr/8] = old + ref.WVal
+	}
+}
+
+// --- MSHR helpers ---
+
+func (c *CPU) findMSHR(line uint64) int {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *CPU) setConflict(line uint64) bool {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.Cache.SameSet(c.mshrs[i].line, line) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *CPU) allocMSHR() int {
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			c.inUse++
+			return i
+		}
+	}
+	panic("cpu: allocMSHR with none free")
+}

@@ -1,0 +1,202 @@
+// Package exp regenerates the paper's tables and figures: each Experiment
+// runs the required simulations and renders rows in the paper's layout.
+// cmd/flashexp exposes them on the command line and bench_test.go wraps
+// them as benchmarks.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/stats"
+	"flashsim/internal/workload"
+)
+
+// Options tune experiment cost.
+type Options struct {
+	// Scale multiplies every application's problem-size divisor: 1 runs the
+	// paper sizes, larger values shrink the problems. The default (4) keeps
+	// the full suite to minutes.
+	Scale int
+	// Procs overrides the processor count where the paper doesn't fix it.
+	Procs int
+	// Verify re-checks application results and machine coherence after
+	// every run (slower; on by default in tests).
+	Verify bool
+}
+
+// DefaultOptions is the quick configuration: problem sizes a quarter of
+// the paper's, which preserves the qualitative results at a fraction of
+// the simulation cost. Use Scale 1 or 2 to approach the paper sizes.
+func DefaultOptions() Options { return Options{Scale: 4, Verify: true} }
+
+// quickScale gives per-application divisors applied on top of
+// Options.Scale; Options.Scale == 1 runs the paper sizes.
+var quickScale = map[string]int{
+	"fft":    1,
+	"lu":     1,
+	"radix":  1,
+	"ocean":  1,
+	"barnes": 1,
+	"mp3d":   1,
+	"os":     1,
+}
+
+func (o Options) paramsFor(app string, procs int) apps.Params {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	return apps.Params{Procs: procs, Scale: s * quickScale[app]}
+}
+
+// Run is one completed simulation.
+type Run struct {
+	App     string
+	Cfg     arch.Config
+	Report  stats.Report
+	Machine *core.Machine
+}
+
+// RunApp executes one application on one configuration.
+func RunApp(name string, cfg arch.Config, p apps.Params, verify bool) (*Run, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	w := workload.NewWorld(m)
+	app, err := apps.Build(name, w, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(app.Run, 0); err != nil {
+		return nil, fmt.Errorf("%s on %v: %w", name, cfg.Kind, err)
+	}
+	if verify {
+		if err := app.Verify(); err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", name, cfg.Kind, err)
+		}
+		if err := m.CheckCoherence(); err != nil {
+			return nil, fmt.Errorf("%s on %v: %w", name, cfg.Kind, err)
+		}
+	}
+	return &Run{App: name, Cfg: cfg, Report: stats.Collect(m), Machine: m}, nil
+}
+
+// Pair runs an application on FLASH and on the ideal machine with otherwise
+// identical configuration, in parallel.
+func Pair(name string, base arch.Config, p apps.Params, verify bool) (flash, ideal *Run, err error) {
+	var wg sync.WaitGroup
+	var ef, ei error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		cf := base
+		cf.Kind = arch.KindFLASH
+		flash, ef = RunApp(name, cf, p, verify)
+	}()
+	go func() {
+		defer wg.Done()
+		ci := base
+		ci.Kind = arch.KindIdeal
+		ideal, ei = RunApp(name, ci, p, verify)
+	}()
+	wg.Wait()
+	if ef != nil {
+		return nil, nil, ef
+	}
+	if ei != nil {
+		return nil, nil, ei
+	}
+	return flash, ideal, nil
+}
+
+// Slowdown returns FLASH execution time relative to ideal, in percent.
+func Slowdown(flash, ideal *Run) float64 {
+	return 100 * (float64(flash.Report.Elapsed)/float64(ideal.Report.Elapsed) - 1)
+}
+
+// baseConfig is the 16-processor Section 3 machine with a memory size fit
+// for the scaled problems.
+func baseConfig(procs int) arch.Config {
+	cfg := arch.DefaultConfig()
+	if procs > 0 {
+		cfg.Nodes = procs
+	}
+	cfg.MemBytesPerNode = 8 << 20
+	return cfg
+}
+
+// parallelMap runs f over the items concurrently (bounded: each simulation
+// already spawns one goroutine per simulated processor, and oversubscribing
+// the host thrashes the workload handshake channels), preserving order.
+func parallelMap[T any](items []string, f func(string) (T, error)) ([]T, error) {
+	out := make([]T, len(items))
+	errs := make([]error, len(items))
+	sem := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for i, it := range items {
+		wg.Add(1)
+		go func(i int, it string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = f(it)
+		}(i, it)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func pct(v float64) string  { return fmt.Sprintf("%.1f%%", 100*v) }
+func pct2(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }

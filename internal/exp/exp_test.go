@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment smoke tests fast.
+func tinyOptions() Options { return Options{Scale: 16, Verify: true} }
+
+func TestTable33(t *testing.T) {
+	s, err := Table33()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+	if !strings.Contains(s, "Remote read miss") {
+		t.Fatal("missing rows")
+	}
+}
+
+func TestTable34(t *testing.T) {
+	s, err := Table34()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+	for _, h := range []string{"pi_get_local", "ni_get", "ni_fwd_get", "ni_put"} {
+		if !strings.Contains(s, h) {
+			t.Fatalf("missing handler %s", h)
+		}
+	}
+}
+
+func TestFig41(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Fig41(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestFig42(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Fig42(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestFig43(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Fig43(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestSec43(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Sec43(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestTable51(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Table51(tinyOptions(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestSec52(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Sec52(Options{Scale: 64, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestTable52(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Table52(tinyOptions(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}
+
+func TestTable53(t *testing.T) {
+	s, err := Table53()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+	if !strings.Contains(s, "branch on bit") {
+		t.Fatal("missing instruction class")
+	}
+}
+
+func TestSec53(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s, err := Sec53(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + s)
+}

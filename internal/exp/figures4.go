@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/arch"
+)
+
+// appRow is one application's FLASH/ideal pair.
+type appRow struct {
+	App          string
+	Flash, Ideal *Run
+}
+
+// runSuite runs the listed applications on both machines at the given cache
+// size. procs 0 means the paper's default (16, or 8 for the OS workload).
+func runSuite(o Options, names []string, cacheBytes, procs int) ([]appRow, error) {
+	return parallelMap(names, func(name string) (appRow, error) {
+		np := procs
+		if np == 0 {
+			np = 16
+			if name == "os" {
+				np = 8
+			}
+		}
+		if o.Procs > 0 {
+			np = o.Procs
+		}
+		cfg := baseConfig(np)
+		if cacheBytes > 0 {
+			cfg.CacheSize = cacheBytes
+			// The paper uses 16 KB instead of 4 KB for Ocean (cache
+			// conflicts with 128-byte lines).
+			if name == "ocean" && cacheBytes == 4<<10 {
+				cfg.CacheSize = 16 << 10
+			}
+		}
+		if name == "os" {
+			cfg.Placement = arch.PlaceRoundRobin
+		}
+		f, i, err := Pair(name, cfg, o.paramsFor(name, np), o.Verify)
+		if err != nil {
+			return appRow{}, err
+		}
+		return appRow{App: name, Flash: f, Ideal: i}, nil
+	})
+}
+
+// renderFig renders a Figure 4.x execution-time comparison: normalized
+// execution times with Busy/Read/Write/Sync breakdowns.
+func renderFig(title string, rows []appRow) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	b.WriteString("(execution time normalized to FLASH = 100; components in points)\n")
+	hdr := []string{"App", "Machine", "Total", "Busy", "Read", "Write", "Sync", "Slowdown"}
+	out := [][]string{}
+	for _, r := range rows {
+		fl, id := r.Flash.Report, r.Ideal.Report
+		norm := 100.0 / float64(fl.Elapsed)
+		out = append(out, []string{
+			r.App, "FLASH", "100.0",
+			fmt.Sprintf("%.1f", float64(fl.Elapsed)*norm*fl.Breakdown.Busy),
+			fmt.Sprintf("%.1f", float64(fl.Elapsed)*norm*fl.Breakdown.Read),
+			fmt.Sprintf("%.1f", float64(fl.Elapsed)*norm*fl.Breakdown.Write),
+			fmt.Sprintf("%.1f", float64(fl.Elapsed)*norm*fl.Breakdown.Sync),
+			"",
+		})
+		out = append(out, []string{
+			"", "ideal", fmt.Sprintf("%.1f", float64(id.Elapsed)*norm),
+			fmt.Sprintf("%.1f", float64(id.Elapsed)*norm*id.Breakdown.Busy),
+			fmt.Sprintf("%.1f", float64(id.Elapsed)*norm*id.Breakdown.Read),
+			fmt.Sprintf("%.1f", float64(id.Elapsed)*norm*id.Breakdown.Write),
+			fmt.Sprintf("%.1f", float64(id.Elapsed)*norm*id.Breakdown.Sync),
+			fmt.Sprintf("+%.1f%%", Slowdown(r.Flash, r.Ideal)),
+		})
+	}
+	b.WriteString(table(hdr, out))
+	return b.String()
+}
+
+// renderTable41 renders the Table 4.1/4.2 statistics block.
+func renderTable41(title string, rows []appRow) (string, error) {
+	latF, err := MeasuredLatencies(arch.KindFLASH)
+	if err != nil {
+		return "", err
+	}
+	latI, err := MeasuredLatencies(arch.KindIdeal)
+	if err != nil {
+		return "", err
+	}
+	hdr := []string{"Metric"}
+	for _, r := range rows {
+		hdr = append(hdr, r.App)
+	}
+	get := func(f func(r appRow) string) []string {
+		out := []string{}
+		for _, r := range rows {
+			out = append(out, f(r))
+		}
+		return out
+	}
+	out := [][]string{
+		append([]string{"Miss rate"}, get(func(r appRow) string { return pct2(r.Flash.Report.MissRate) })...),
+		append([]string{"Local Clean"}, get(func(r appRow) string { return pct(r.Flash.Report.ReadClass[arch.MissLocalClean]) })...),
+		append([]string{"Local Dirty Remote"}, get(func(r appRow) string { return pct(r.Flash.Report.ReadClass[arch.MissLocalDirty]) })...),
+		append([]string{"Remote Clean"}, get(func(r appRow) string { return pct(r.Flash.Report.ReadClass[arch.MissRemoteClean]) })...),
+		append([]string{"Remote Dirty at Home"}, get(func(r appRow) string { return pct(r.Flash.Report.ReadClass[arch.MissRemoteDirtyHome]) })...),
+		append([]string{"Remote Dirty Remote"}, get(func(r appRow) string { return pct(r.Flash.Report.ReadClass[arch.MissRemoteDirty3rd]) })...),
+		append([]string{"FLASH CRMT"}, get(func(r appRow) string { return fmt.Sprintf("%.0f", r.Flash.Report.CRMT(latF)) })...),
+		append([]string{"Ideal CRMT"}, get(func(r appRow) string { return fmt.Sprintf("%.0f", r.Ideal.Report.CRMT(latI)) })...),
+		append([]string{"Avg Mem Occupancy"}, get(func(r appRow) string { return pct(r.Flash.Report.AvgMemOcc) })...),
+		append([]string{"Avg PP Occupancy"}, get(func(r appRow) string { return pct(r.Flash.Report.AvgPPOcc) })...),
+		append([]string{"Max PP Occupancy"}, get(func(r appRow) string { return pct(r.Flash.Report.MaxPPOcc) })...),
+	}
+	return title + "\n" + table(hdr, out), nil
+}
+
+// Fig41 regenerates Figure 4.1 and Table 4.1 (1 MB caches).
+func Fig41(o Options) (string, error) {
+	rows, err := runSuite(o, apps.Names, 1<<20, 0)
+	if err != nil {
+		return "", err
+	}
+	s := renderFig("Figure 4.1: execution times, FLASH vs ideal, 1 MB caches", rows)
+	t, err := renderTable41("Table 4.1: read miss distributions and CRMT, 1 MB caches", rows)
+	if err != nil {
+		return "", err
+	}
+	return s + "\n" + t, nil
+}
+
+// Fig42 regenerates Figure 4.2 and the 64 KB half of Table 4.2.
+func Fig42(o Options) (string, error) {
+	names := []string{"barnes", "fft", "mp3d", "ocean", "radix"}
+	rows, err := runSuite(o, names, 64<<10, 0)
+	if err != nil {
+		return "", err
+	}
+	s := renderFig("Figure 4.2: execution times, FLASH vs ideal, 64 KB caches", rows)
+	t, err := renderTable41("Table 4.2 (64 KB columns)", rows)
+	if err != nil {
+		return "", err
+	}
+	return s + "\n" + t, nil
+}
+
+// Fig43 regenerates Figure 4.3 and the 4 KB half of Table 4.2 (16 KB for
+// Ocean, per the paper's footnote; Barnes is omitted as in the paper).
+func Fig43(o Options) (string, error) {
+	names := []string{"fft", "mp3d", "ocean", "radix"}
+	rows, err := runSuite(o, names, 4<<10, 0)
+	if err != nil {
+		return "", err
+	}
+	s := renderFig("Figure 4.3: execution times, FLASH vs ideal, 4 KB caches", rows)
+	t, err := renderTable41("Table 4.2 (4 KB columns)", rows)
+	if err != nil {
+		return "", err
+	}
+	return s + "\n" + t, nil
+}
+
+// Sec43 reproduces the Section 4.3 occupancy experiments: FFT with all
+// memory on node 0 (high PP occupancy AND high memory occupancy at the hot
+// node -> small slowdown), and the OS workload without round-robin paging
+// (the original IRIX port: high PP occupancy, low memory occupancy -> large
+// slowdown).
+func Sec43(o Options) (string, error) {
+	var b strings.Builder
+	b.WriteString("Section 4.3: PP occupancy effects (hot-spotting)\n\n")
+
+	// FFT, 4 KB caches, all pages from node 0.
+	cfg := baseConfig(16)
+	cfg.CacheSize = 4 << 10
+	cfg.Placement = arch.PlaceNodeZero
+	f, i, err := Pair("fft", cfg, o.paramsFor("fft", 16), o.Verify)
+	if err != nil {
+		return "", err
+	}
+	hot := f.Machine.Nodes[0]
+	b.WriteString(fmt.Sprintf("FFT (4 KB caches, all memory on node 0):\n"))
+	b.WriteString(fmt.Sprintf("  node-0 PP occupancy  %.1f%%   (paper: 81.6%%)\n",
+		100*hot.Magic.PPOcc.Fraction(f.Machine.Elapsed)))
+	b.WriteString(fmt.Sprintf("  node-0 mem occupancy %.1f%%   (paper: 67.7%%)\n",
+		100*hot.Mem.Occupancy(f.Machine.Elapsed)))
+	b.WriteString(fmt.Sprintf("  FLASH vs ideal       +%.1f%%  (paper: +2.6%%)\n\n", Slowdown(f, i)))
+
+	// OS workload: round-robin (tuned) vs node-zero (original IRIX port).
+	for _, pl := range []arch.Placement{arch.PlaceRoundRobin, arch.PlaceNodeZero} {
+		cfg := baseConfig(8)
+		cfg.Placement = pl
+		f, i, err := Pair("os", cfg, o.paramsFor("os", 8), o.Verify)
+		if err != nil {
+			return "", err
+		}
+		maxPP, maxMem := 0.0, 0.0
+		for _, n := range f.Machine.Nodes {
+			if v := n.Magic.PPOcc.Fraction(f.Machine.Elapsed); v > maxPP {
+				maxPP = v
+			}
+			if v := n.Mem.Occupancy(f.Machine.Elapsed); v > maxMem {
+				maxMem = v
+			}
+		}
+		b.WriteString(fmt.Sprintf("OS workload, %v pages:\n", pl))
+		b.WriteString(fmt.Sprintf("  max PP occupancy  %.1f%%\n", 100*maxPP))
+		b.WriteString(fmt.Sprintf("  max mem occupancy %.1f%%\n", 100*maxMem))
+		b.WriteString(fmt.Sprintf("  FLASH vs ideal    +%.1f%%\n", Slowdown(f, i)))
+	}
+	b.WriteString("(paper: original port had 81% max PP occupancy vs 33% memory and a 29% slowdown)\n")
+	return b.String(), nil
+}
+
+// Sec45 reproduces the Section 4.5 scaling experiment: 64 processors with
+// the 16-processor problem sizes.
+func Sec45(o Options) (string, error) {
+	names := []string{"fft", "lu", "ocean"}
+	paper := map[string]string{"fft": "17%", "lu": "0.7%", "ocean": "12%"}
+	var b strings.Builder
+	b.WriteString("Section 4.5: 64-processor runs at 16-processor problem sizes\n")
+	rows := [][]string{}
+	res, err := parallelMap(names, func(name string) (appRow, error) {
+		cfg := baseConfig(64)
+		cfg.MemBytesPerNode = 2 << 20 // keep the 64-node footprint sane
+		f, i, err := Pair(name, cfg, o.paramsFor(name, 64), o.Verify)
+		if err != nil {
+			return appRow{}, err
+		}
+		return appRow{App: name, Flash: f, Ideal: i}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+	for _, r := range res {
+		rows = append(rows, []string{r.App,
+			fmt.Sprintf("+%.1f%%", Slowdown(r.Flash, r.Ideal)),
+			"(" + paper[r.App] + ")"})
+	}
+	b.WriteString(table([]string{"App", "FLASH vs ideal", "paper"}, rows))
+	return b.String(), nil
+}

@@ -1,0 +1,411 @@
+// Package ideal implements the paper's idealized hardwired node controller:
+// every protocol operation completes in zero time, the directory is an
+// instantaneous oracle, and all queues are infinite. The only delays are
+// data transit and arbitration (Table 3.2's ideal column) plus contention
+// for the shared resources both machines model: memory, processor bus, and
+// network. The protocol semantics — including NAK/retry races, 3-hop
+// forwarding, sharing writebacks and invalidation acknowledgments — match
+// the FLASH handler code exactly, which also makes this controller the
+// reference oracle for differential tests.
+package ideal
+
+import (
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/memsys"
+	"flashsim/internal/network"
+	"flashsim/internal/sim"
+)
+
+// dirEntry is the oracle directory state for one line.
+type dirEntry struct {
+	dirty   bool
+	pending bool
+	local   bool
+	owner   arch.NodeID
+	sharers []arch.NodeID
+	acks    int
+}
+
+func (e *dirEntry) addSharer(n arch.NodeID) {
+	for _, s := range e.sharers {
+		if s == n {
+			return
+		}
+	}
+	e.sharers = append(e.sharers, n)
+}
+
+func (e *dirEntry) removeSharer(n arch.NodeID) {
+	for i, s := range e.sharers {
+		if s == n {
+			e.sharers = append(e.sharers[:i], e.sharers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Trace, when non-nil, receives a line for every message handled and every
+// directory transition (debugging aid; nil in normal runs).
+var Trace func(format string, args ...interface{})
+
+// Stats counts ideal-controller activity.
+type Stats struct {
+	Handled uint64
+	Naks    uint64
+	Invals  uint64
+}
+
+// Controller is one node's idealized controller.
+type Controller struct {
+	ID  arch.NodeID
+	Eng *sim.Engine
+	Cfg *arch.Config
+	T   arch.Timing
+
+	Mem *memsys.Memory
+	CPU *cpu.CPU
+	Net *network.Network
+
+	dir   map[uint64]*dirEntry
+	Stats Stats
+}
+
+// New builds an idealized controller; call Attach to wire the CPU.
+func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, mem *memsys.Memory, net *network.Network) *Controller {
+	t := cfg.Timing
+	return &Controller{
+		ID: id, Eng: eng, Cfg: cfg, T: t,
+		Mem: mem, Net: net,
+		dir: make(map[uint64]*dirEntry),
+	}
+}
+
+// Attach wires the processor.
+func (c *Controller) Attach(p *cpu.CPU) { c.CPU = p }
+
+// DirState is a read-only directory snapshot for invariant checking.
+type DirState struct {
+	Dirty, Pending, Local bool
+	Owner                 arch.NodeID
+	Sharers               []arch.NodeID
+	Acks                  int
+}
+
+// Snapshot copies the oracle directory (lines with any recorded state).
+func (c *Controller) Snapshot() map[uint64]DirState {
+	out := make(map[uint64]DirState, len(c.dir))
+	for l, e := range c.dir {
+		out[l] = DirState{
+			Dirty: e.dirty, Pending: e.pending, Local: e.local,
+			Owner: e.owner, Sharers: append([]arch.NodeID(nil), e.sharers...),
+			Acks: e.acks,
+		}
+	}
+	return out
+}
+
+func (c *Controller) entry(a arch.Addr) *dirEntry {
+	l := a.Line()
+	e := c.dir[l]
+	if e == nil {
+		e = &dirEntry{}
+		c.dir[l] = e
+	}
+	return e
+}
+
+// FromProc receives a processor-side message (cpu.Ctl).
+func (c *Controller) FromProc(m arch.Msg, at sim.Cycle) {
+	c.Eng.At(at+sim.Cycle(c.T.PIInbound), func() { c.handle(m, false) })
+}
+
+// FromNet receives a network message (network.Sink).
+func (c *Controller) FromNet(m arch.Msg) {
+	c.Eng.After(sim.Cycle(c.T.NIInbound), func() { c.handle(m, true) })
+}
+
+// --- send helpers (all timed from r, the processing instant) ---
+
+// toNet injects a message; data-carrying messages wait for firstData.
+func (c *Controller) toNet(r sim.Cycle, m arch.Msg, firstData sim.Cycle) {
+	inject := r
+	if firstData > inject {
+		inject = firstData
+	}
+	inject += sim.Cycle(c.T.NIOutbound)
+	c.Net.Send(inject, m)
+}
+
+// toProc delivers a reply to the local processor.
+func (c *Controller) toProc(r sim.Cycle, m arch.Msg, firstData sim.Cycle) {
+	deliver := r
+	if firstData > deliver {
+		deliver = firstData
+	}
+	deliver += sim.Cycle(c.T.PIOutbound) + sim.Cycle(c.T.PIBusWord)
+	c.Eng.At(deliver, func() { c.CPU.Deliver(m, c.Eng.Now()) })
+}
+
+// nak bounces a request back to its origin.
+func (c *Controller) nak(r sim.Cycle, m arch.Msg, viaNet bool) {
+	c.Stats.Naks++
+	n := arch.Msg{Type: arch.MsgNAK, Addr: m.Addr, Src: c.ID, Dst: m.Src, Req: m.Req, DB: -1}
+	if viaNet {
+		c.toNet(r, n, 0)
+	} else {
+		c.toProc(r, n, 0)
+	}
+}
+
+// reply sends a data reply to the requester, locally or across the mesh.
+func (c *Controller) reply(r sim.Cycle, t arch.MsgType, m arch.Msg, aux uint32, firstData sim.Cycle, viaNet bool) {
+	n := arch.Msg{Type: t, Addr: m.Addr, Src: c.ID, Dst: m.Src, Req: m.Req, Aux: aux, DB: 0}
+	if viaNet {
+		c.toNet(r, n, firstData)
+	} else {
+		c.toProc(r, n, firstData)
+	}
+}
+
+// handle processes one message in zero time at the current instant.
+func (c *Controller) handle(m arch.Msg, viaNet bool) {
+	r := c.Eng.Now()
+	c.Stats.Handled++
+	isHome := c.Cfg.HomeOf(m.Addr) == c.ID
+	if Trace != nil {
+		Trace("%8d node%d handle %v addr=%#x src=%d req=%d viaNet=%v", r, c.ID, m.Type, m.Addr, m.Src, m.Req, viaNet)
+	}
+
+	// Processor-side requests for remote addresses forward to the home.
+	if !viaNet && !isHome {
+		switch m.Type {
+		case arch.MsgGET, arch.MsgGETX, arch.MsgWB, arch.MsgRPL:
+			fwd := m
+			fwd.Dst = c.Cfg.HomeOf(m.Addr)
+			data := sim.Cycle(0)
+			if m.Type == arch.MsgWB {
+				data = r
+			}
+			c.toNet(r, fwd, data)
+			return
+		}
+	}
+
+	switch m.Type {
+	case arch.MsgGET:
+		c.get(r, m, viaNet)
+	case arch.MsgGETX:
+		c.getx(r, m, viaNet)
+	case arch.MsgWB:
+		c.writeback(r, m)
+	case arch.MsgRPL:
+		c.entry(m.Addr).removeSharer(m.Src)
+		if !viaNet {
+			c.entry(m.Addr).local = false
+		}
+	case arch.MsgFwdGET:
+		c.fwdGet(r, m, false)
+	case arch.MsgFwdGETX:
+		c.fwdGet(r, m, true)
+	case arch.MsgINVAL:
+		c.CPU.Intervene(arch.MsgPIInval, m.Addr, r, func(arch.MsgType, sim.Cycle) {})
+		c.toNet(r, arch.Msg{Type: arch.MsgIACK, Addr: m.Addr, Src: c.ID, Dst: m.Src, DB: -1}, 0)
+	case arch.MsgPUT, arch.MsgPUTX, arch.MsgNAK:
+		// Replies arriving at the requester: hand to the processor.
+		data := sim.Cycle(0)
+		if m.Type != arch.MsgNAK {
+			data = r
+		}
+		c.toProc(r, m, data)
+	case arch.MsgSWB:
+		c.Mem.Write(r)
+		e := c.entry(m.Addr)
+		if e.dirty && e.owner == m.Src {
+			e.dirty, e.pending = false, false
+			c.noteSharer(e, m.Src)
+			c.noteSharer(e, m.Req)
+		}
+	case arch.MsgXFER:
+		e := c.entry(m.Addr)
+		if e.dirty && e.owner == m.Src {
+			e.owner = m.Req
+			e.pending = false
+		}
+	case arch.MsgPCLR:
+		e := c.entry(m.Addr)
+		if e.dirty && e.owner == m.Src {
+			e.pending = false
+		}
+	case arch.MsgIACK:
+		e := c.entry(m.Addr)
+		e.acks--
+		if e.acks <= 0 {
+			e.acks = 0
+			e.pending = false
+		}
+	default:
+		panic("ideal: unexpected message " + m.Type.String())
+	}
+}
+
+func (c *Controller) noteSharer(e *dirEntry, n arch.NodeID) {
+	if n == c.ID {
+		e.local = true
+	} else {
+		e.addSharer(n)
+	}
+}
+
+// get serves a read request at the home node.
+func (c *Controller) get(r sim.Cycle, m arch.Msg, viaNet bool) {
+	e := c.entry(m.Addr)
+	switch {
+	case e.pending:
+		c.nak(r, m, viaNet)
+	case e.dirty && e.owner == c.ID:
+		// Dirty in our own processor cache: retrieve and downgrade. Pending
+		// guards the window (the flexible machine's PP serializes this
+		// naturally; the oracle must do it explicitly).
+		e.pending = true
+		c.CPU.Intervene(arch.MsgPIDowngr, m.Addr, r+sim.Cycle(c.T.PIOutbound),
+			func(resp arch.MsgType, first sim.Cycle) {
+				now := c.Eng.Now()
+				e.pending = false
+				if resp != arch.MsgPCData {
+					c.nak(now, m, viaNet)
+					return
+				}
+				c.Mem.Write(now)
+				e.dirty = false
+				e.local = true // our processor keeps the downgraded copy
+				c.noteSharer(e, m.Src)
+				c.reply(now, arch.MsgPUT, m, 1, first, viaNet)
+			})
+	case e.dirty:
+		if e.owner == m.Src {
+			c.nak(r, m, viaNet) // requester's own writeback is in flight
+			return
+		}
+		e.pending = true
+		c.toNet(r, arch.Msg{Type: arch.MsgFwdGET, Addr: m.Addr, Src: c.ID, Dst: e.owner, Req: m.Src, DB: -1}, 0)
+	default:
+		c.noteSharer(e, m.Src)
+		fw, _ := c.Mem.Read(r)
+		c.reply(r, arch.MsgPUT, m, 0, fw, viaNet)
+	}
+}
+
+// getx serves a write (read-exclusive) request at the home node.
+func (c *Controller) getx(r sim.Cycle, m arch.Msg, viaNet bool) {
+	e := c.entry(m.Addr)
+	switch {
+	case e.pending:
+		c.nak(r, m, viaNet)
+	case e.dirty && e.owner == c.ID && m.Src == c.ID:
+		c.nak(r, m, viaNet) // our writeback is in flight
+	case e.dirty && e.owner == c.ID:
+		e.pending = true
+		c.CPU.Intervene(arch.MsgPIFlush, m.Addr, r+sim.Cycle(c.T.PIOutbound),
+			func(resp arch.MsgType, first sim.Cycle) {
+				now := c.Eng.Now()
+				e.pending = false
+				if resp != arch.MsgPCData {
+					c.nak(now, m, viaNet)
+					return
+				}
+				c.Mem.Write(now)
+				e.local = false
+				e.owner = m.Src
+				c.reply(now, arch.MsgPUTX, m, 1, first, viaNet)
+			})
+	case e.dirty:
+		if e.owner == m.Src {
+			c.nak(r, m, viaNet)
+			return
+		}
+		e.pending = true
+		c.toNet(r, arch.Msg{Type: arch.MsgFwdGETX, Addr: m.Addr, Src: c.ID, Dst: e.owner, Req: m.Src, DB: -1}, 0)
+	default:
+		// Invalidate all sharers except the requester. The zero-occupancy
+		// controller issues every invalidation at the same instant.
+		acks := 0
+		for _, s := range e.sharers {
+			if s == m.Src {
+				continue
+			}
+			c.Stats.Invals++
+			c.toNet(r, arch.Msg{Type: arch.MsgINVAL, Addr: m.Addr, Src: c.ID, Dst: s, Req: m.Src, DB: -1}, 0)
+			acks++
+		}
+		e.sharers = e.sharers[:0]
+		if e.local && m.Src != c.ID {
+			c.CPU.Intervene(arch.MsgPIInval, m.Addr, r, func(arch.MsgType, sim.Cycle) {})
+			e.local = false
+		}
+		if m.Src == c.ID {
+			e.local = true
+		}
+		e.dirty = true
+		e.owner = m.Src
+		e.acks = acks
+		e.pending = acks > 0
+		fw, _ := c.Mem.Read(r)
+		c.reply(r, arch.MsgPUTX, m, 0, fw, viaNet)
+	}
+}
+
+// writeback retires dirty data to memory at the home node.
+func (c *Controller) writeback(r sim.Cycle, m arch.Msg) {
+	c.Mem.Write(r)
+	e := c.entry(m.Addr)
+	if e.dirty && e.owner == m.Src {
+		e.dirty = false
+		if m.Src == c.ID {
+			e.local = false
+		}
+		if e.acks == 0 {
+			e.pending = false
+		}
+	}
+}
+
+// fwdGet handles a forwarded request at the (believed) dirty node.
+func (c *Controller) fwdGet(r sim.Cycle, m arch.Msg, exclusive bool) {
+	kind := arch.MsgPIDowngr
+	if exclusive {
+		kind = arch.MsgPIFlush
+	}
+	c.CPU.Intervene(kind, m.Addr, r+sim.Cycle(c.T.PIOutbound),
+		func(resp arch.MsgType, first sim.Cycle) {
+			now := c.Eng.Now()
+			if resp != arch.MsgPCData {
+				// Already written back: clear home's pending, bounce requester.
+				c.toNet(now, arch.Msg{Type: arch.MsgPCLR, Addr: m.Addr, Src: c.ID, Dst: m.Src, DB: -1}, 0)
+				c.deliverOrSend(now, arch.Msg{Type: arch.MsgNAK, Addr: m.Addr, Src: c.ID, Dst: m.Req, DB: -1}, 0)
+				return
+			}
+			t := arch.MsgPUT
+			home := arch.MsgSWB
+			if exclusive {
+				t, home = arch.MsgPUTX, arch.MsgXFER
+			}
+			c.deliverOrSend(now, arch.Msg{Type: t, Addr: m.Addr, Src: c.ID, Dst: m.Req, Req: m.Req, Aux: 3, DB: 0}, first)
+			homeData := first
+			if exclusive {
+				homeData = 0 // XFER carries no data
+			}
+			c.toNet(now, arch.Msg{Type: home, Addr: m.Addr, Src: c.ID, Dst: m.Src, Req: m.Req, DB: -1}, homeData)
+		})
+}
+
+// deliverOrSend routes a reply to the requester: across the network, or
+// straight to our own processor when we are the requester (a local miss
+// that was dirty in our cache region's forwarded path).
+func (c *Controller) deliverOrSend(r sim.Cycle, m arch.Msg, firstData sim.Cycle) {
+	if m.Dst == c.ID {
+		c.toProc(r, m, firstData)
+		return
+	}
+	c.toNet(r, m, firstData)
+}

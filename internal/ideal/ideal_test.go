@@ -1,0 +1,139 @@
+package ideal
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/memsys"
+	"flashsim/internal/network"
+	"flashsim/internal/sim"
+)
+
+// rig builds a two-node ideal machine by hand (core would be a circular
+// import) with scripted reference streams.
+type rig struct {
+	eng  *sim.Engine
+	ctls [2]*Controller
+	cpus [2]*cpu.CPU
+}
+
+type script struct {
+	refs []cpu.Ref
+	i    int
+}
+
+func (s *script) Next() (cpu.Ref, bool) {
+	if s.i >= len(s.refs) {
+		return cpu.Ref{}, false
+	}
+	r := s.refs[s.i]
+	s.i++
+	return r, true
+}
+func (s *script) ReadDone() {}
+
+func newRig(t *testing.T, refs [2][]cpu.Ref) *rig {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	cfg.Kind = arch.KindIdeal
+	cfg.Nodes = 2
+	cfg.MemBytesPerNode = 1 << 20
+	cfg.Timing = arch.IdealTiming()
+	r := &rig{eng: sim.NewEngine()}
+	net := network.New(r.eng, 2, 22)
+	mem := make([]uint64, 1<<18)
+	for i := 0; i < 2; i++ {
+		m := memsys.New(cfg.Timing)
+		c := New(arch.NodeID(i), r.eng, &cfg, m, net)
+		p := cpu.New(arch.NodeID(i), r.eng, &cfg, c, mem)
+		c.Attach(p)
+		net.Attach(arch.NodeID(i), c)
+		r.ctls[i] = c
+		r.cpus[i] = p
+		p.SetSource(&script{refs: refs[i]}, nil)
+		p.Start()
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestIdealLocalRead(t *testing.T) {
+	r := newRig(t, [2][]cpu.Ref{
+		{{Kind: arch.RefRead, Addr: 0x1000}},
+		nil,
+	})
+	snap := r.ctls[0].Snapshot()
+	e := snap[arch.Addr(0x1000).Line()]
+	if !e.Local || e.Dirty || e.Pending {
+		t.Fatalf("dir = %+v, want local clean", e)
+	}
+	if r.cpus[0].Stats.ReadStall != 24 {
+		t.Fatalf("local read latency = %d, want 24", r.cpus[0].Stats.ReadStall)
+	}
+}
+
+func TestIdealRemoteWriteOwnership(t *testing.T) {
+	r := newRig(t, [2][]cpu.Ref{
+		nil,
+		{{Kind: arch.RefWrite, Addr: 0x2000}}, // node 1 writes node 0's line
+	})
+	snap := r.ctls[0].Snapshot()
+	e := snap[arch.Addr(0x2000).Line()]
+	if !e.Dirty || e.Owner != 1 || e.Pending {
+		t.Fatalf("dir = %+v, want dirty owner=1", e)
+	}
+	if r.cpus[1].Cache.Lookup(arch.Addr(0x2000).Line()) != cpu.Modified {
+		t.Fatal("writer's cache not Modified")
+	}
+}
+
+func TestIdealInvalidationOnWrite(t *testing.T) {
+	// Node 1 reads (shared), then node 0 writes: node 1 must be
+	// invalidated and acks collected.
+	r := newRig(t, [2][]cpu.Ref{
+		{{Kind: arch.RefWrite, Addr: 0x3000, Busy: 4000}},
+		{{Kind: arch.RefRead, Addr: 0x3000}},
+	})
+	snap := r.ctls[0].Snapshot()
+	e := snap[arch.Addr(0x3000).Line()]
+	if !e.Dirty || e.Owner != 0 || e.Pending || e.Acks != 0 {
+		t.Fatalf("dir = %+v, want dirty owner=0 quiesced", e)
+	}
+	if r.cpus[1].Cache.Lookup(arch.Addr(0x3000).Line()) != cpu.Invalid {
+		t.Fatal("old sharer not invalidated")
+	}
+	if r.ctls[0].Stats.Invals != 1 {
+		t.Fatalf("invals = %d, want 1", r.ctls[0].Stats.Invals)
+	}
+}
+
+func TestIdealThreeHopRead(t *testing.T) {
+	// Node 1 writes node 0's line; node 0 then reads it back: a forwarded
+	// request, a sharing writeback, and both nodes end up sharers.
+	r := newRig(t, [2][]cpu.Ref{
+		{{Kind: arch.RefRead, Addr: 0x4000, Busy: 4000}},
+		{{Kind: arch.RefWrite, Addr: 0x4000}},
+	})
+	e := r.ctls[0].Snapshot()[arch.Addr(0x4000).Line()]
+	if e.Dirty || e.Pending {
+		t.Fatalf("dir = %+v, want clean after sharing writeback", e)
+	}
+	if !e.Local {
+		t.Fatal("reader (home) not recorded")
+	}
+	found := false
+	for _, s := range e.Sharers {
+		if s == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("old owner not recorded as sharer")
+	}
+	if r.cpus[1].Cache.Lookup(arch.Addr(0x4000).Line()) != cpu.Shared {
+		t.Fatal("old owner's copy not downgraded to Shared")
+	}
+}

@@ -1,0 +1,508 @@
+// Package magic models the MAGIC node controller: the programmable heart of
+// a FLASH node. It implements the control macropipeline of Section 2 of the
+// paper — inbox (queue selection, jump table lookup, speculative memory
+// initiation), protocol processor execution via ppsim, and outbox — along
+// with the hardwired data-transfer logic timing, the bounded queues of
+// Table 3.1, and the PI/NI interface latencies of Table 3.2.
+package magic
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/memsys"
+	"flashsim/internal/network"
+	"flashsim/internal/ppisa"
+	"flashsim/internal/ppsim"
+	"flashsim/internal/protocol"
+	"flashsim/internal/sim"
+)
+
+// Stats aggregates MAGIC-level statistics.
+type Stats struct {
+	Dispatches    uint64 // handler invocations (excluding pp_init)
+	NetSends      uint64
+	PISends       uint64
+	Interventions uint64
+	NetBlocks     uint64 // PP stalls on a full outgoing network queue
+	PIBlocks      uint64 // PP stalls on a busy outgoing PI slot
+	QueueHighPI   int
+	QueueHighNet  int
+	BufHigh       int // data buffer high-water mark
+	BufOverflow   uint64
+
+	// Per-handler occupancy, for Table 3.4.
+	HandlerCycles map[string]sim.Cycle
+	HandlerCount  map[string]uint64
+}
+
+type queued struct {
+	msg   arch.Msg
+	ready sim.Cycle
+}
+
+// handlerCtx tracks one in-flight handler invocation.
+type handlerCtx struct {
+	msg        arch.Msg
+	entry      string
+	viaNet     bool
+	dispatched sim.Cycle // handler start time
+	segStart   sim.Cycle // start of the current PP run segment
+
+	dataReady   sim.Cycle // first word of the data buffer is available
+	hasData     bool
+	specIssued  bool
+	specUsed    bool
+	intervened  bool // data buffer was overwritten by a cache retrieval
+	blockedNet  bool
+	blockedPI   bool
+	waitingPC   bool
+	pcDone      bool // intervention response arrived before WAITPC executed
+	blockedAt   sim.Cycle
+	pendingWake bool
+}
+
+// Magic is one node's controller.
+type Magic struct {
+	ID  arch.NodeID
+	Eng *sim.Engine
+	Cfg *arch.Config
+	T   arch.Timing
+
+	Prog *protocol.Program
+	PP   *ppsim.PP
+	Mem  *memsys.Memory
+	CPU  *cpu.CPU
+	Net  *network.Network
+
+	PPOcc sim.OccupancyMeter
+	Stats Stats
+
+	qPI     []queued
+	qNetReq []queued
+	qNetRpl []queued
+	rrPI    bool // round-robin fairness between PI and NI request queues
+
+	outNet int // accepted but not yet injected
+	outPI  int // accepted but not yet delivered (capacity 1)
+	bufs   int // data buffers in use
+
+	ctx *handlerCtx // nil when the PP is idle
+
+	dispatchScheduled bool
+
+	// lastEnd tracks the previous handler's completion for the
+	// non-overlap invariant (occupancies must never double-count).
+	lastEnd sim.Cycle
+}
+
+// queue capacities from Table 3.1.
+const (
+	netQueueCap = 16
+	piOutCap    = 1
+	dataBufs    = 16
+)
+
+// New builds a MAGIC controller. Call Attach afterwards to wire the CPU
+// (construction order is circular).
+func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, prog *protocol.Program, mem *memsys.Memory, net *network.Network) *Magic {
+	m := &Magic{
+		ID:   id,
+		Eng:  eng,
+		Cfg:  cfg,
+		T:    cfg.Timing,
+		Prog: prog,
+		Mem:  mem,
+		Net:  net,
+	}
+	m.Stats.HandlerCycles = make(map[string]sim.Cycle)
+	m.Stats.HandlerCount = make(map[string]uint64)
+	mdc := ppsim.NewMDC(cfg.MDCSize, cfg.MDCWays)
+	m.PP = ppsim.New(prog.Code, int(prog.Layout.MemBytes), mdc, (*ppEnv)(m))
+	prog.Layout.InitMemory(m.PP.Mem, id, cfg.NodeBase(id), cfg.Nodes)
+	return m
+}
+
+// Attach wires the processor and boots the PP (runs pp_init to establish
+// the protocol's persistent registers).
+func (m *Magic) Attach(c *cpu.CPU) {
+	m.CPU = c
+	if st, _ := m.PP.Start("pp_init"); st != ppsim.StatusDone {
+		panic("magic: pp_init did not complete")
+	}
+}
+
+// MDC exposes the MAGIC data cache for statistics.
+func (m *Magic) MDC() *ppsim.MDC { return m.PP.MDC }
+
+// FromProc receives a message from the processor side; at is when it
+// crossed the processor bus.
+func (m *Magic) FromProc(msg arch.Msg, at sim.Cycle) {
+	m.Eng.At(at+sim.Cycle(m.T.PIInbound), func() {
+		m.qPI = append(m.qPI, queued{msg, m.Eng.Now()})
+		if len(m.qPI) > m.Stats.QueueHighPI {
+			m.Stats.QueueHighPI = len(m.qPI)
+		}
+		m.tryDispatch()
+	})
+}
+
+// FromNet receives a message from the interconnect (network.Sink).
+func (m *Magic) FromNet(msg arch.Msg) {
+	m.Eng.After(sim.Cycle(m.T.NIInbound), func() {
+		q := &m.qNetReq
+		if msg.Type.IsReply() {
+			q = &m.qNetRpl
+		}
+		*q = append(*q, queued{msg, m.Eng.Now()})
+		if n := len(m.qNetReq) + len(m.qNetRpl); n > m.Stats.QueueHighNet {
+			m.Stats.QueueHighNet = n
+		}
+		m.tryDispatch()
+	})
+}
+
+// tryDispatch starts the next handler if the PP is idle and a message is
+// waiting. Replies have priority (deadlock avoidance); the PI and NI
+// request queues alternate.
+func (m *Magic) tryDispatch() {
+	if m.ctx != nil || m.dispatchScheduled {
+		return
+	}
+	var msg arch.Msg
+	var viaNet bool
+	switch {
+	case len(m.qNetRpl) > 0:
+		msg, viaNet = m.qNetRpl[0].msg, true
+		m.qNetRpl = m.qNetRpl[1:]
+	case len(m.qPI) > 0 && (m.rrPI || len(m.qNetReq) == 0):
+		msg, viaNet = m.qPI[0].msg, false
+		m.qPI = m.qPI[1:]
+		m.rrPI = false
+	case len(m.qNetReq) > 0:
+		msg, viaNet = m.qNetReq[0].msg, true
+		m.qNetReq = m.qNetReq[1:]
+		m.rrPI = true
+	default:
+		return
+	}
+
+	now := m.Eng.Now()
+	dispatch := now + sim.Cycle(m.T.InboxSelect) + sim.Cycle(m.T.JumpTable)
+	isHome := m.Cfg.HomeOf(msg.Addr) == m.ID
+	jt, err := protocol.Dispatch(msg.Type, viaNet, isHome)
+	if err != nil {
+		panic(fmt.Sprintf("magic%d: %v", m.ID, err))
+	}
+
+	ctx := &handlerCtx{msg: msg, entry: jt.Entry, viaNet: viaNet, dispatched: dispatch}
+	if msg.Type.CarriesData() {
+		// The data streamed into a buffer alongside the header.
+		ctx.hasData = true
+		ctx.dataReady = now
+		m.allocBuf()
+	}
+	if jt.Spec && m.Cfg.Speculation {
+		fw, _ := m.Mem.SpeculativeRead(dispatch)
+		ctx.specIssued = true
+		if !ctx.hasData {
+			ctx.dataReady = fw + 1
+			m.allocBuf()
+		}
+	}
+	m.ctx = ctx
+	m.dispatchScheduled = true
+	m.Eng.At(dispatch, func() {
+		m.dispatchScheduled = false
+		m.startHandler()
+	})
+}
+
+func (m *Magic) startHandler() {
+	ctx := m.ctx
+	m.Stats.Dispatches++
+
+	// Inbox header preprocessing.
+	pp := m.PP
+	pp.InHeader(ppisa.HdrType, uint64(ctx.msg.Type))
+	pp.InHeader(ppisa.HdrAddr, uint64(ctx.msg.Addr))
+	pp.InHeader(ppisa.HdrSrc, uint64(ctx.msg.Src))
+	pp.InHeader(ppisa.HdrReq, uint64(ctx.msg.Req))
+	pp.InHeader(ppisa.HdrAux, uint64(ctx.msg.Aux))
+	pp.InHeader(ppisa.HdrSelf, uint64(m.ID))
+	if m.Cfg.HomeOf(ctx.msg.Addr) == m.ID {
+		pp.InHeader(ppisa.HdrDirOff, m.Prog.Layout.DirOffset(m.Cfg.LocalLine(ctx.msg.Addr)))
+	} else {
+		pp.InHeader(ppisa.HdrDirOff, uint64(m.Cfg.HomeOf(ctx.msg.Addr)))
+	}
+
+	ctx.segStart = ctx.dispatched
+	st, cyc := pp.Start(ctx.entry)
+	m.handleStatus(st, cyc)
+}
+
+// handleStatus advances MAGIC state after a PP run segment.
+func (m *Magic) handleStatus(st ppsim.Status, cyc uint64) {
+	ctx := m.ctx
+	end := ctx.segStart + sim.Cycle(cyc)
+	switch st {
+	case ppsim.StatusDone:
+		if ctx.dispatched < m.lastEnd {
+			panic(fmt.Sprintf("magic%d: handler %s dispatched at %d overlaps previous end %d",
+				m.ID, ctx.entry, ctx.dispatched, m.lastEnd))
+		}
+		m.lastEnd = end
+		occ := end - ctx.dispatched
+		m.PPOcc.AddBusy(occ)
+		m.Stats.HandlerCycles[ctx.entry] += occ
+		m.Stats.HandlerCount[ctx.entry]++
+		if ctx.specIssued && (!ctx.specUsed || ctx.intervened) {
+			m.Mem.MarkUseless()
+		}
+		if ctx.hasData || ctx.specIssued {
+			m.freeBuf()
+		}
+		// The PP stays claimed until the handler's last cycle retires; the
+		// run segment executed synchronously ahead of the clock.
+		m.Eng.At(end, func() {
+			m.ctx = nil
+			m.tryDispatch()
+		})
+
+	case ppsim.StatusBlockedSend:
+		ctx.blockedAt = end
+		// The waker (an injection/delivery completion event) resumes us.
+		// If capacity already freed between the failed TrySend and now,
+		// wake immediately.
+		if ctx.blockedNet && m.outNet < netQueueCap {
+			m.wake(end)
+		} else if ctx.blockedPI && m.outPI < piOutCap {
+			m.wake(end)
+		}
+
+	case ppsim.StatusWaitPC:
+		ctx.blockedAt = end
+		if ctx.pcDone {
+			ctx.pcDone = false
+			m.wake(end)
+		} else {
+			ctx.waitingPC = true
+			// The intervention completion callback resumes us.
+		}
+	}
+}
+
+// wake resumes a blocked PP at time t (>= the block time).
+func (m *Magic) wake(t sim.Cycle) {
+	ctx := m.ctx
+	if ctx == nil || ctx.pendingWake {
+		return
+	}
+	ctx.pendingWake = true
+	if t < ctx.blockedAt {
+		t = ctx.blockedAt
+	}
+	m.Eng.At(t, func() {
+		ctx.pendingWake = false
+		ctx.blockedNet, ctx.blockedPI, ctx.waitingPC = false, false, false
+		ctx.segStart = m.Eng.Now()
+		st, cyc := m.PP.Resume()
+		m.handleStatus(st, cyc)
+	})
+}
+
+func (m *Magic) allocBuf() {
+	m.bufs++
+	if m.bufs > m.Stats.BufHigh {
+		m.Stats.BufHigh = m.bufs
+	}
+	if m.bufs > dataBufs {
+		m.Stats.BufOverflow++
+	}
+}
+
+func (m *Magic) freeBuf() {
+	if m.bufs > 0 {
+		m.bufs--
+	}
+}
+
+// ppEnv adapts Magic to the ppsim.Env interface.
+type ppEnv Magic
+
+func (e *ppEnv) magic() *Magic { return (*Magic)(e) }
+
+// TrySend launches an outgoing message composed by the handler.
+func (e *ppEnv) TrySend(h ppsim.OutHeader, dt uint64) bool {
+	m := e.magic()
+	ctx := m.ctx
+	tSend := ctx.segStart + sim.Cycle(dt)
+	mt := arch.MsgType(h.Type)
+
+	if h.Iface == ppisa.SendPI {
+		switch mt {
+		case arch.MsgPIInval, arch.MsgPIDowngr, arch.MsgPIFlush:
+			return m.sendIntervention(mt, arch.Addr(h.Addr), tSend)
+		}
+		return m.sendToPI(h, tSend)
+	}
+	return m.sendToNet(h, tSend)
+}
+
+// sendIntervention issues a processor-cache transaction. For
+// PIDowngr/PIFlush the handler stalls with WAITPC afterwards; PIInval is
+// fire-and-forget.
+func (m *Magic) sendIntervention(mt arch.MsgType, addr arch.Addr, tSend sim.Cycle) bool {
+	m.Stats.Interventions++
+	ctx := m.ctx
+	at := tSend + sim.Cycle(m.T.OutboxOut) + sim.Cycle(m.T.PIOutbound)
+	wait := mt != arch.MsgPIInval
+	m.CPU.Intervene(mt, addr, at, func(resp arch.MsgType, firstData sim.Cycle) {
+		if !wait {
+			return
+		}
+		if resp == arch.MsgPCData {
+			m.PP.SetPCResponse(1)
+			if !ctx.hasData && !ctx.specIssued {
+				m.allocBuf()
+			}
+			ctx.hasData = true
+			ctx.intervened = true
+			ctx.dataReady = firstData + 1
+		} else {
+			m.PP.SetPCResponse(0)
+		}
+		if ctx.waitingPC {
+			m.wake(m.Eng.Now())
+		} else {
+			// The PP has not reached its WAITPC yet (response raced the
+			// handler); mark completion so handleStatus wakes us directly.
+			ctx.pcDone = true
+		}
+	})
+	return true
+}
+
+// sendToPI delivers a reply (PUT/PUTX/NAK) to the local processor.
+func (m *Magic) sendToPI(h ppsim.OutHeader, tSend sim.Cycle) bool {
+	if m.outPI >= piOutCap {
+		m.ctx.blockedPI = true
+		m.Stats.PIBlocks++
+		return false
+	}
+	m.outPI++
+	m.Stats.PISends++
+	ctx := m.ctx
+	hdrReady := tSend + sim.Cycle(m.T.OutboxOut)
+	var deliver sim.Cycle
+	if h.Data {
+		if ctx.specIssued && !ctx.intervened {
+			ctx.specUsed = true
+		}
+		deliver = hdrReady + sim.Cycle(m.T.PIOutbound)
+		if ctx.dataReady > deliver {
+			deliver = ctx.dataReady
+		}
+		deliver += sim.Cycle(m.T.PIBusWord)
+	} else {
+		deliver = hdrReady + sim.Cycle(m.T.PIOutbound) + sim.Cycle(m.T.PIBusWord)
+	}
+	msg := m.msgFrom(h)
+	m.Eng.At(deliver, func() {
+		m.outPI--
+		if m.ctx != nil && m.ctx.blockedPI {
+			m.wake(m.Eng.Now())
+		}
+		m.CPU.Deliver(msg, m.Eng.Now())
+	})
+	return true
+}
+
+// sendToNet injects a message into the interconnect through the outgoing
+// network queue (capacity 16) and the NI outbound stage.
+func (m *Magic) sendToNet(h ppsim.OutHeader, tSend sim.Cycle) bool {
+	if m.outNet >= netQueueCap {
+		m.ctx.blockedNet = true
+		m.Stats.NetBlocks++
+		return false
+	}
+	m.outNet++
+	m.Stats.NetSends++
+	ctx := m.ctx
+	hdrReady := tSend + sim.Cycle(m.T.OutboxOut)
+	inject := hdrReady
+	if h.Data {
+		if ctx.specIssued && !ctx.intervened {
+			ctx.specUsed = true
+		}
+		if ctx.dataReady > inject {
+			inject = ctx.dataReady
+		}
+	}
+	inject += sim.Cycle(m.T.NIOutbound)
+	msg := m.msgFrom(h)
+	m.Eng.At(inject, func() {
+		m.outNet--
+		if m.ctx != nil && m.ctx.blockedNet {
+			m.wake(m.Eng.Now())
+		}
+		m.Net.Send(m.Eng.Now(), msg)
+	})
+	return true
+}
+
+func (m *Magic) msgFrom(h ppsim.OutHeader) arch.Msg {
+	db := int16(-1)
+	if h.Data {
+		db = 0
+	}
+	return arch.Msg{
+		Type: arch.MsgType(h.Type),
+		Addr: arch.Addr(h.Addr),
+		Src:  m.ID,
+		Dst:  arch.NodeID(h.Dst),
+		Req:  arch.NodeID(h.Req),
+		Aux:  uint32(h.Aux),
+		DB:   db,
+	}
+}
+
+// MemRead handles a handler-initiated memory read. When the inbox already
+// issued the speculative read for this message the two coalesce.
+func (e *ppEnv) MemRead(addr uint64, dt uint64) {
+	m := e.magic()
+	ctx := m.ctx
+	if ctx.specIssued {
+		return // data already on the way
+	}
+	fw, _ := m.Mem.Read(ctx.segStart + sim.Cycle(dt))
+	if !ctx.hasData {
+		m.allocBuf()
+		ctx.hasData = true
+	}
+	ctx.dataReady = fw + 1
+}
+
+// MemWrite writes the handler's data buffer back to memory (posted).
+func (e *ppEnv) MemWrite(addr uint64, dt uint64) {
+	m := e.magic()
+	m.Mem.Write(m.ctx.segStart + sim.Cycle(dt))
+}
+
+// MDCFill services a MAGIC data cache miss: a full-line read from local
+// memory (plus a posted writeback of the victim when dirty). The returned
+// stall covers queueing plus the 29-cycle line access.
+func (e *ppEnv) MDCFill(addr uint64, writeback bool, dt uint64) uint64 {
+	m := e.magic()
+	if m.ctx == nil {
+		// Boot-time fill (pp_init), before the clock starts.
+		return uint64(m.T.MDCMiss)
+	}
+	t := m.ctx.segStart + sim.Cycle(dt)
+	_, done := m.Mem.Read(t)
+	if writeback {
+		m.Mem.Write(done)
+	}
+	return uint64(done - t)
+}

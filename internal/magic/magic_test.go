@@ -1,0 +1,161 @@
+package magic
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/memsys"
+	"flashsim/internal/network"
+	"flashsim/internal/protocol"
+	"flashsim/internal/sim"
+)
+
+type script struct {
+	refs []cpu.Ref
+	i    int
+}
+
+func (s *script) Next() (cpu.Ref, bool) {
+	if s.i >= len(s.refs) {
+		return cpu.Ref{}, false
+	}
+	r := s.refs[s.i]
+	s.i++
+	return r, true
+}
+func (s *script) ReadDone() {}
+
+// rig hand-builds a two-node FLASH machine (core would be circular).
+type rig struct {
+	eng    *sim.Engine
+	magics [2]*Magic
+	cpus   [2]*cpu.CPU
+	prog   *protocol.Program
+}
+
+func newRig(t *testing.T, cfg arch.Config, refs [2][]cpu.Ref) *rig {
+	t.Helper()
+	cfg.Kind = arch.KindFLASH
+	cfg.Nodes = 2
+	cfg.MemBytesPerNode = 1 << 20
+	prog, err := protocol.Build(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{eng: sim.NewEngine(), prog: prog}
+	net := network.New(r.eng, 2, 22)
+	mem := make([]uint64, 1<<18)
+	for i := 0; i < 2; i++ {
+		ms := memsys.New(cfg.Timing)
+		cfgCopy := cfg
+		mg := New(arch.NodeID(i), r.eng, &cfgCopy, prog, ms, net)
+		p := cpu.New(arch.NodeID(i), r.eng, &cfgCopy, mg, mem)
+		mg.Attach(p)
+		net.Attach(arch.NodeID(i), mg)
+		r.magics[i] = mg
+		r.cpus[i] = p
+		p.SetSource(&script{refs: refs[i]}, nil)
+		p.Start()
+	}
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestHandlerDispatchLocalRead(t *testing.T) {
+	r := newRig(t, arch.DefaultConfig(), [2][]cpu.Ref{
+		{{Kind: arch.RefRead, Addr: 0x1000}},
+		nil,
+	})
+	mg := r.magics[0]
+	if mg.Stats.HandlerCount["pi_get_local"] != 1 {
+		t.Fatalf("handler counts: %v", mg.Stats.HandlerCount)
+	}
+	if mg.Stats.PISends != 1 {
+		t.Fatalf("PI sends = %d, want 1 (data reply)", mg.Stats.PISends)
+	}
+	// The directory must now record the local copy.
+	d, err := r.prog.Layout.Decode(mg.PP.Mem, r.magics[0].Cfg.LocalLine(0x1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Local || d.Dirty {
+		t.Fatalf("dir = %+v, want local clean", d)
+	}
+}
+
+func TestSpeculativeReadAccounting(t *testing.T) {
+	// A clean local read uses its speculative read; a read of a line dirty
+	// in a remote cache wastes it.
+	r := newRig(t, arch.DefaultConfig(), [2][]cpu.Ref{
+		{{Kind: arch.RefRead, Addr: 0x1000},
+			{Kind: arch.RefRead, Addr: 0x2000, Busy: 8000}}, // dirty at node 1 by then
+		{{Kind: arch.RefWrite, Addr: 0x2000}},
+	})
+	m := r.magics[0].Mem
+	if m.SpecReads < 2 {
+		t.Fatalf("spec reads = %d, want >= 2", m.SpecReads)
+	}
+	if m.SpecUseless == 0 {
+		t.Fatal("dirty-remote read should waste its speculative read")
+	}
+}
+
+func TestSpeculationDisabled(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.Speculation = false
+	r := newRig(t, cfg, [2][]cpu.Ref{
+		{{Kind: arch.RefRead, Addr: 0x1000}},
+		nil,
+	})
+	if r.magics[0].Mem.SpecReads != 0 {
+		t.Fatal("speculative reads issued with speculation disabled")
+	}
+	if r.magics[0].Mem.Reads == 0 {
+		t.Fatal("handler-initiated memrd did not reach memory")
+	}
+	// The read still completes, just slower than the 27-cycle speculative
+	// path.
+	if r.cpus[0].Stats.ReadStall <= 27 {
+		t.Fatalf("read stall %d; expected slower than speculative path", r.cpus[0].Stats.ReadStall)
+	}
+}
+
+func TestRemoteReadHandlers(t *testing.T) {
+	r := newRig(t, arch.DefaultConfig(), [2][]cpu.Ref{
+		nil,
+		{{Kind: arch.RefRead, Addr: 0x1000}}, // remote read of node 0's line
+	})
+	if r.magics[1].Stats.HandlerCount["pi_get_remote"] != 1 {
+		t.Fatalf("requester handlers: %v", r.magics[1].Stats.HandlerCount)
+	}
+	if r.magics[0].Stats.HandlerCount["ni_get"] != 1 {
+		t.Fatalf("home handlers: %v", r.magics[0].Stats.HandlerCount)
+	}
+	if r.magics[1].Stats.HandlerCount["ni_put"] != 1 {
+		t.Fatalf("reply handlers: %v", r.magics[1].Stats.HandlerCount)
+	}
+	// Sharer recorded in the home's pointer pool.
+	d, err := r.prog.Layout.Decode(r.magics[0].PP.Mem, r.magics[0].Cfg.LocalLine(0x1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sharers) != 1 || d.Sharers[0] != 1 {
+		t.Fatalf("sharers = %v, want [1]", d.Sharers)
+	}
+}
+
+func TestPPOccupancyAccumulates(t *testing.T) {
+	r := newRig(t, arch.DefaultConfig(), [2][]cpu.Ref{
+		{{Kind: arch.RefRead, Addr: 0x1000}},
+		nil,
+	})
+	if r.magics[0].PPOcc.Busy == 0 {
+		t.Fatal("no PP occupancy recorded")
+	}
+	if r.magics[0].Stats.Dispatches != 1 {
+		t.Fatalf("dispatches = %d, want 1", r.magics[0].Stats.Dispatches)
+	}
+}

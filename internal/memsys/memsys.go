@@ -1,0 +1,66 @@
+// Package memsys models one node's main-memory system: a single memory
+// controller with a one-request queue and a 14-cycle access time to the
+// first 8 bytes (Table 3.2), streaming the remainder of a 128-byte line over
+// the 64-bit path. Both FLASH and the ideal machine use this model; the
+// paper models memory contention accurately on both.
+package memsys
+
+import (
+	"flashsim/internal/arch"
+	"flashsim/internal/sim"
+)
+
+// Memory is one node's memory controller.
+type Memory struct {
+	t   arch.Timing
+	srv sim.Server
+
+	// Stats.
+	Reads       uint64
+	Writes      uint64
+	SpecReads   uint64 // speculative reads issued by the inbox
+	SpecUseless uint64 // speculative reads whose data was not used
+}
+
+// New creates a memory controller with the given timing.
+func New(t arch.Timing) *Memory {
+	return &Memory{t: t}
+}
+
+// Read reserves a full-line read starting no earlier than at. It returns
+// when the first 8 bytes are available and when the controller frees.
+func (m *Memory) Read(at sim.Cycle) (firstWord, done sim.Cycle) {
+	start, end := m.srv.Reserve(at, sim.Cycle(m.t.MemLineBusy))
+	m.Reads++
+	return start + sim.Cycle(m.t.MemAccess), end
+}
+
+// SpeculativeRead is a Read issued by the inbox before the handler runs
+// (Section 5.1). The caller later marks it useless if the data was not sent.
+func (m *Memory) SpeculativeRead(at sim.Cycle) (firstWord, done sim.Cycle) {
+	fw, done := m.Read(at)
+	m.SpecReads++
+	return fw, done
+}
+
+// MarkUseless records that the most recent speculative read fetched data
+// that was not used (the line was dirty elsewhere, or the request was
+// NAKed).
+func (m *Memory) MarkUseless() { m.SpecUseless++ }
+
+// Write reserves a full-line write starting no earlier than at and returns
+// when the controller frees.
+func (m *Memory) Write(at sim.Cycle) (done sim.Cycle) {
+	_, end := m.srv.Reserve(at, sim.Cycle(m.t.MemLineBusy))
+	m.Writes++
+	return end
+}
+
+// Occupancy returns the controller's busy fraction over total cycles.
+func (m *Memory) Occupancy(total sim.Cycle) float64 { return m.srv.Occ.Fraction(total) }
+
+// BusyCycles returns total busy cycles.
+func (m *Memory) BusyCycles() sim.Cycle { return m.srv.Occ.Busy }
+
+// Accesses returns the total number of line accesses.
+func (m *Memory) Accesses() uint64 { return m.Reads + m.Writes }

@@ -1,0 +1,71 @@
+// Package network models the FLASH interconnect: a two-dimensional mesh
+// abstracted, as in the paper, by a fixed average transit latency per
+// message (22 cycles for 16 processors: one hop to enter and exit, 2.6 hops
+// of transit at 40 ns fall-through, and 3 cycles of header). Requests and
+// replies travel on separate virtual networks so that replies can always
+// make progress.
+package network
+
+import (
+	"flashsim/internal/arch"
+	"flashsim/internal/sim"
+)
+
+// Sink receives messages delivered to a node.
+type Sink interface {
+	// FromNet delivers m to the node. The callee owns any further queueing;
+	// a full inbound queue backs messages up into (unbounded) network
+	// buffering on the callee side, exactly as Table 3.1 specifies.
+	FromNet(m arch.Msg)
+}
+
+// Network delivers messages between nodes after a fixed transit latency.
+type Network struct {
+	eng     *sim.Engine
+	transit sim.Cycle
+	sinks   []Sink
+
+	// Stats.
+	Msgs      uint64
+	DataMsgs  uint64
+	ReplyMsgs uint64
+}
+
+// New creates a network for n nodes with the given transit latency.
+func New(eng *sim.Engine, n int, transit sim.Cycle) *Network {
+	return &Network{eng: eng, transit: transit, sinks: make([]Sink, n)}
+}
+
+// Attach registers the sink for node id.
+func (n *Network) Attach(id arch.NodeID, s Sink) { n.sinks[id] = s }
+
+// Send injects m at time `at` (which must be >= the engine's current time);
+// it is delivered to m.Dst after the transit latency.
+func (n *Network) Send(at sim.Cycle, m arch.Msg) {
+	n.Msgs++
+	if m.Type.CarriesData() {
+		n.DataMsgs++
+	}
+	if m.Type.IsReply() {
+		n.ReplyMsgs++
+	}
+	dst := n.sinks[m.Dst]
+	if dst == nil {
+		panic("network: send to unattached node")
+	}
+	n.eng.At(at+n.transit, func() { dst.FromNet(m) })
+}
+
+// AvgTransitFor returns the paper's average transit estimate for a p-node
+// 2-D mesh: one hop in, one hop out, the average internal hop count of a
+// sqrt(p) x sqrt(p) mesh at 4 cycles (40 ns) per hop, plus 3 header cycles.
+func AvgTransitFor(p int) sim.Cycle {
+	// Average Manhattan distance on a k x k mesh is ~2k/3 hops.
+	k := 1
+	for k*k < p {
+		k++
+	}
+	internal := 2.0 * float64(k) / 3.0
+	cycles := (1.0+internal+1.0)*4.0 + 3.0
+	return sim.Cycle(cycles + 0.5)
+}

@@ -1,0 +1,75 @@
+package network
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/sim"
+)
+
+type sink struct {
+	got []struct {
+		m  arch.Msg
+		at sim.Cycle
+	}
+	eng *sim.Engine
+}
+
+func (s *sink) FromNet(m arch.Msg) {
+	s.got = append(s.got, struct {
+		m  arch.Msg
+		at sim.Cycle
+	}{m, s.eng.Now()})
+}
+
+func TestDeliveryLatencyAndOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, 22)
+	s := &sink{eng: eng}
+	n.Attach(0, s)
+	n.Attach(1, s)
+
+	a := arch.Msg{Type: arch.MsgGET, Dst: 1, Addr: 0x100}
+	b := arch.Msg{Type: arch.MsgPUT, Dst: 1, Addr: 0x200, DB: 0}
+	eng.At(5, func() { n.Send(5, a) })
+	eng.At(6, func() { n.Send(6, b) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(s.got))
+	}
+	if s.got[0].at != 27 || s.got[1].at != 28 {
+		t.Fatalf("delivery times %d,%d want 27,28", s.got[0].at, s.got[1].at)
+	}
+	if s.got[0].m.Addr != 0x100 {
+		t.Fatal("FIFO order violated")
+	}
+	if n.Msgs != 2 || n.DataMsgs != 1 || n.ReplyMsgs != 1 {
+		t.Fatalf("stats = %d/%d/%d", n.Msgs, n.DataMsgs, n.ReplyMsgs)
+	}
+}
+
+func TestAvgTransit(t *testing.T) {
+	// The paper's figure: 22 cycles for a 16-processor mesh.
+	if got := AvgTransitFor(16); got != 22 {
+		t.Fatalf("AvgTransitFor(16) = %d, want 22", got)
+	}
+	if got := AvgTransitFor(64); got < 23 || got > 40 {
+		t.Fatalf("AvgTransitFor(64) = %d, implausible", got)
+	}
+	if got := AvgTransitFor(1); got < 8 || got > 22 {
+		t.Fatalf("AvgTransitFor(1) = %d, implausible", got)
+	}
+}
+
+func TestUnattachedPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, 2, 22)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unattached node did not panic")
+		}
+	}()
+	n.Send(0, arch.Msg{Dst: 1})
+}

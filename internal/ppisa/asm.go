@@ -1,0 +1,647 @@
+package ppisa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Source is an assembled-but-unscheduled handler program: a linear
+// instruction list with resolved branch targets and named entry points.
+type Source struct {
+	Instrs []Instr
+	Labels map[string]int // label -> instruction index
+}
+
+// Assemble parses PP assembly text. syms supplies named constants (layout
+// offsets, bit positions, message types). Registers are written r0..r31;
+// r29-r31 are reserved for assembler temporaries (the DLX substitution pass
+// and pseudo-instructions), and using them explicitly is an error.
+//
+// Syntax:
+//
+//	label:              ; global label
+//	.local:             ; local label, scoped to the preceding global label
+//	op a, b, c          ; operands: rN, immediate expressions, labels
+//	ld r1, OFF(r2)      ; memory operands
+//	; comment           ; also # comments
+//
+// Immediate expressions support + - | << and parentheses-free left-to-right
+// evaluation over numbers and symbols.
+//
+// Pseudo-instructions: li rd, imm (expands to addi or lui/ori sequences),
+// mv rd, rs, b label, not rd, rs.
+func Assemble(text string, syms map[string]int64) (*Source, error) {
+	a := &asm{syms: syms, labels: make(map[string]int)}
+	if err := a.parse(text); err != nil {
+		return nil, err
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	return &Source{Instrs: a.instrs, Labels: a.labels}, nil
+}
+
+type asm struct {
+	syms    map[string]int64
+	instrs  []Instr
+	labels  map[string]int
+	scope   string // current global label for .local scoping
+	lineNum int
+}
+
+func (a *asm) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ppisa: line %d: %s", a.lineNum, fmt.Sprintf(format, args...))
+}
+
+func (a *asm) parse(text string) error {
+	for _, raw := range strings.Split(text, "\n") {
+		a.lineNum++
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			name := line[:i]
+			if err := a.defineLabel(name); err != nil {
+				return err
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		if err := a.parseInstr(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *asm) defineLabel(name string) error {
+	full := name
+	if strings.HasPrefix(name, ".") {
+		if a.scope == "" {
+			return a.errf("local label %s before any global label", name)
+		}
+		full = a.scope + name
+	} else {
+		a.scope = name
+	}
+	if _, dup := a.labels[full]; dup {
+		return a.errf("duplicate label %s", full)
+	}
+	a.labels[full] = len(a.instrs)
+	return nil
+}
+
+func (a *asm) parseInstr(line string) error {
+	var mnem, rest string
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnem, rest = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mnem = line
+	}
+	mnem = strings.ToLower(mnem)
+	var ops []string
+	if rest != "" {
+		for _, f := range strings.Split(rest, ",") {
+			ops = append(ops, strings.TrimSpace(f))
+		}
+	}
+	return a.emit(mnem, ops)
+}
+
+// reg parses rN.
+func (a *asm) reg(s string) (uint8, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, a.errf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, a.errf("bad register %q", s)
+	}
+	if n >= 29 {
+		return 0, a.errf("register r%d is reserved for the assembler", n)
+	}
+	return uint8(n), nil
+}
+
+// rawReg parses rN allowing reserved registers (for internal expansion).
+func rawReg(n int) uint8 { return uint8(n) }
+
+// imm evaluates an immediate expression.
+func (a *asm) imm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf("empty immediate")
+	}
+	// Tokenize on operators, left-to-right.
+	val := int64(0)
+	op := byte('+')
+	i := 0
+	for i < len(s) {
+		// find next operator at top level
+		j := i
+		for j < len(s) && !strings.ContainsRune("+|", rune(s[j])) &&
+			!(s[j] == '<' && j+1 < len(s) && s[j+1] == '<') &&
+			!(s[j] == '-' && j > i) {
+			j++
+		}
+		term := strings.TrimSpace(s[i:j])
+		tv, err := a.term(term)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case '+':
+			val += tv
+		case '-':
+			val -= tv
+		case '|':
+			val |= tv
+		case '<':
+			val <<= uint(tv)
+		}
+		if j >= len(s) {
+			break
+		}
+		op = s[j]
+		if op == '<' {
+			j++ // skip second '<'
+		}
+		i = j + 1
+	}
+	return val, nil
+}
+
+func (a *asm) term(s string) (int64, error) {
+	if s == "" {
+		return 0, a.errf("empty term in immediate expression")
+	}
+	neg := false
+	if s[0] == '-' {
+		neg, s = true, s[1:]
+	}
+	var v int64
+	if n, err := strconv.ParseInt(s, 0, 64); err == nil {
+		v = n
+	} else if sv, ok := a.syms[s]; ok {
+		v = sv
+	} else {
+		return 0, a.errf("unknown symbol %q", s)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// memOperand parses imm(rN).
+func (a *asm) memOperand(s string) (int64, uint8, error) {
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("expected offset(reg), got %q", s)
+	}
+	off := int64(0)
+	if strings.TrimSpace(s[:i]) != "" {
+		v, err := a.imm(s[:i])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := a.reg(strings.TrimSpace(s[i+1 : len(s)-1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, r, nil
+}
+
+func (a *asm) labelRef(s string) string {
+	if strings.HasPrefix(s, ".") {
+		return a.scope + s
+	}
+	return s
+}
+
+func (a *asm) push(in Instr) { a.instrs = append(a.instrs, in) }
+
+func (a *asm) emit(mnem string, ops []string) error {
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s wants %d operands, got %d", mnem, n, len(ops))
+		}
+		return nil
+	}
+	switch mnem {
+	case "nop":
+		a.push(Instr{Op: NOP})
+	case "done":
+		a.push(Instr{Op: DONE})
+	case "waitpc":
+		a.push(Instr{Op: WAITPC})
+
+	case "add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: aluOp(mnem), Rd: rd, Rs: rs, Rt: rt})
+
+	case "addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ops[2])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: aluImmOp(mnem), Rd: rd, Rs: rs, Imm: imm})
+
+	case "lui":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: LUI, Rd: rd, Imm: imm})
+
+	case "ffs":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: FFS, Rd: rd, Rs: rs})
+
+	case "ext", "ins", "orfi", "andfi":
+		if err := need(4); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		pos, err := a.imm(ops[2])
+		if err != nil {
+			return err
+		}
+		w, err := a.imm(ops[3])
+		if err != nil {
+			return err
+		}
+		if pos < 0 || w <= 0 || pos+w > 64 {
+			return a.errf("%s field [%d,%d) out of range", mnem, pos, pos+w)
+		}
+		var op Op
+		switch mnem {
+		case "ext":
+			op = EXT
+		case "ins":
+			op = INS
+		case "orfi":
+			op = ORFI
+		default:
+			op = ANDFI
+		}
+		a.push(Instr{Op: op, Rd: rd, Rs: rs, Imm: pos, Imm2: w})
+
+	case "ld", "st":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, rs, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		op := LD
+		if mnem == "st" {
+			op = ST
+		}
+		a.push(Instr{Op: op, Rd: rd, Rs: rs, Imm: off})
+
+	case "beq", "bne":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		op := BEQ
+		if mnem == "bne" {
+			op = BNE
+		}
+		a.push(Instr{Op: op, Rs: rs, Rt: rt, Sym: a.labelRef(ops[2])})
+
+	case "blez", "bgtz":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := BLEZ
+		if mnem == "bgtz" {
+			op = BGTZ
+		}
+		a.push(Instr{Op: op, Rs: rs, Sym: a.labelRef(ops[1])})
+
+	case "bbs", "bbc":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		bit, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		if bit < 0 || bit > 63 {
+			return a.errf("bit %d out of range", bit)
+		}
+		op := BBS
+		if mnem == "bbc" {
+			op = BBC
+		}
+		a.push(Instr{Op: op, Rs: rs, Imm: bit, Sym: a.labelRef(ops[2])})
+
+	case "j", "jal", "b":
+		if err := need(1); err != nil {
+			return err
+		}
+		op := J
+		if mnem == "jal" {
+			op = JAL
+		}
+		in := Instr{Op: op, Sym: a.labelRef(ops[0])}
+		if mnem == "jal" {
+			in.Rd = 28 // link register convention: r28
+		}
+		a.push(in)
+
+	case "jr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: JR, Rs: rs})
+
+	case "mfh":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		f, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		if f < 0 || f >= NumHdrFields {
+			return a.errf("header field %d out of range", f)
+		}
+		a.push(Instr{Op: MFH, Rd: rd, Imm: f})
+
+	case "mth":
+		if err := need(2); err != nil {
+			return err
+		}
+		f, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		if f < 0 || f >= NumHdrFields {
+			return a.errf("header field %d out of range", f)
+		}
+		a.push(Instr{Op: MTH, Rs: rs, Imm: f})
+
+	case "send":
+		if err := need(1); err != nil {
+			return err
+		}
+		flags, err := a.imm(ops[0])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: SEND, Imm: flags})
+
+	case "memrd", "memwr":
+		if err := need(1); err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := MEMRD
+		if mnem == "memwr" {
+			op = MEMWR
+		}
+		a.push(Instr{Op: op, Rs: rs})
+
+	// Pseudo-instructions.
+	case "mv":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: ADD, Rd: rd, Rs: rs})
+
+	case "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.push(Instr{Op: XORI, Rd: rd, Rs: rs, Imm: -1})
+
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(ops[1])
+		if err != nil {
+			return err
+		}
+		for _, in := range LoadImm(rd, imm) {
+			a.push(in)
+		}
+
+	default:
+		return a.errf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+// LoadImm returns the shortest instruction sequence materializing v in rd.
+func LoadImm(rd uint8, v int64) []Instr {
+	if v >= -32768 && v < 32768 {
+		return []Instr{{Op: ADDI, Rd: rd, Imm: v}}
+	}
+	if v >= 0 && v < 1<<32 {
+		seq := []Instr{{Op: LUI, Rd: rd, Imm: (v >> 16) & 0xFFFF}}
+		if lo := v & 0xFFFF; lo != 0 {
+			seq = append(seq, Instr{Op: ORI, Rd: rd, Rs: rd, Imm: lo})
+		}
+		return seq
+	}
+	// General 64-bit: build the high 32 bits, shift, or in the low 32.
+	seq := LoadImm(rd, (v>>32)&0xFFFFFFFF)
+	seq = append(seq, Instr{Op: SLLI, Rd: rd, Rs: rd, Imm: 32})
+	lo := v & 0xFFFFFFFF
+	if hi16 := (lo >> 16) & 0xFFFF; hi16 != 0 {
+		seq = append(seq,
+			Instr{Op: LUI, Rd: 31, Imm: hi16},
+			Instr{Op: ORI, Rd: 31, Rs: 31, Imm: lo & 0xFFFF},
+			Instr{Op: OR, Rd: rd, Rs: rd, Rt: 31})
+	} else if lo != 0 {
+		seq = append(seq, Instr{Op: ORI, Rd: rd, Rs: rd, Imm: lo})
+	}
+	return seq
+}
+
+func aluOp(m string) Op {
+	switch m {
+	case "add":
+		return ADD
+	case "sub":
+		return SUB
+	case "and":
+		return AND
+	case "or":
+		return OR
+	case "xor":
+		return XOR
+	case "sll":
+		return SLL
+	case "srl":
+		return SRL
+	case "sra":
+		return SRA
+	case "slt":
+		return SLT
+	default:
+		return SLTU
+	}
+}
+
+func aluImmOp(m string) Op {
+	switch m {
+	case "addi":
+		return ADDI
+	case "andi":
+		return ANDI
+	case "ori":
+		return ORI
+	case "xori":
+		return XORI
+	case "slli":
+		return SLLI
+	case "srli":
+		return SRLI
+	case "srai":
+		return SRAI
+	default:
+		return SLTI
+	}
+}
+
+func (a *asm) resolve() error {
+	for i := range a.instrs {
+		in := &a.instrs[i]
+		if in.Sym == "" {
+			continue
+		}
+		t, ok := a.labels[in.Sym]
+		if !ok {
+			return fmt.Errorf("ppisa: undefined label %q", in.Sym)
+		}
+		in.Target = t
+	}
+	return nil
+}

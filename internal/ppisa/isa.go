@@ -1,0 +1,274 @@
+// Package ppisa defines the instruction set of MAGIC's protocol processor
+// (PP) and provides an assembler, a static dual-issue scheduler (the role
+// PPtwine played in the paper), and the DLX-substitution transform used to
+// evaluate the PP's special instructions (Table 5.3, Section 5.3).
+//
+// The PP is a 64-bit DLX-derived core with 32 general registers (r0 wired to
+// zero), extended with bitfield insert/extract, field-immediate ALU
+// operations, find-first-set, and branch-on-bit instructions, plus the MAGIC
+// interface operations that read incoming message headers, compose outgoing
+// messages, and direct the hardwired data-transfer logic.
+package ppisa
+
+import "fmt"
+
+// Op is a PP opcode.
+type Op uint8
+
+const (
+	NOP Op = iota
+
+	// Register-register ALU.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+
+	// Register-immediate ALU.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI
+
+	// FLASH special instructions (Section 5.3).
+	FFS   // find first set bit
+	EXT   // extract bitfield
+	INS   // insert bitfield
+	ORFI  // OR field immediate (a string of consecutive ones)
+	ANDFI // AND field immediate (a string of consecutive zeros)
+
+	// Memory, through the MAGIC data cache.
+	LD
+	ST
+
+	// Control transfer.
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BBS // branch on bit set
+	BBC // branch on bit clear
+	J
+	JAL
+	JR
+
+	// MAGIC interface.
+	MFH    // move from incoming-message header field
+	MTH    // move to outgoing-message header field
+	SEND   // launch outgoing message (imm encodes interface and data flag)
+	MEMRD  // initiate memory read of the line addressed by rs into the data buffer
+	MEMWR  // write the data buffer back to the line addressed by rs
+	WAITPC // stall until the processor-cache intervention response arrives
+	DONE   // handler complete; return to the inbox
+
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"nop",
+	"add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu",
+	"addi", "andi", "ori", "xori", "slli", "srli", "srai", "slti", "lui",
+	"ffs", "ext", "ins", "orfi", "andfi",
+	"ld", "st",
+	"beq", "bne", "blez", "bgtz", "bbs", "bbc", "j", "jal", "jr",
+	"mfh", "mth", "send", "memrd", "memwr", "waitpc", "done",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Header field indices for MFH/MTH. The inbox preprocesses incoming headers
+// (Section 2 of the paper), so handlers also see the precomputed directory
+// offset of the message address and the node's own identifier. For outgoing
+// messages the HdrSrc slot addresses the destination.
+const (
+	HdrType   = iota // message type
+	HdrAddr          // line address
+	HdrSrc           // incoming: source node; outgoing: destination node
+	HdrReq           // original requester
+	HdrAux           // type-specific auxiliary field
+	HdrPCKind        // MFH only: processor-cache response kind after WAITPC
+	HdrDirOff        // MFH only: protocol-memory byte offset of the directory header
+	HdrSelf          // MFH only: this node's identifier
+	NumHdrFields
+)
+
+// SEND immediate encoding.
+const (
+	SendNet   = 0 // to the network interface
+	SendPI    = 1 // to the processor interface
+	SendData  = 2 // flag: message carries the handler's data buffer
+	SendIface = 1 // mask selecting the interface bit
+)
+
+// Instr is one PP instruction. Field use varies by opcode:
+//
+//	ALU reg-reg:  Rd, Rs, Rt
+//	ALU reg-imm:  Rd, Rs, Imm
+//	field ops:    Rd, Rs, Imm (pos), Imm2 (width)
+//	LD/ST:        Rd (data), Rs (base), Imm (offset)
+//	branches:     Rs, Rt/Imm(bit), Target
+//	MFH/MTH:      Rd/Rs and Imm (field index)
+//	SEND:         Imm (interface | data flag)
+type Instr struct {
+	Op     Op
+	Rd     uint8
+	Rs     uint8
+	Rt     uint8
+	Imm    int64
+	Imm2   int64
+	Target int    // resolved instruction index for branch/jump targets
+	Sym    string // unresolved target label (assembler only)
+}
+
+// Class is the broad instruction category used by the Table 5.2 statistics.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassSpecial
+	ClassMem
+	ClassBranch
+	ClassBranchBit // branch-on-bit: counts as both branch and special
+	ClassMagic
+	ClassNop
+)
+
+// Classify returns the statistics class of op.
+func Classify(op Op) Class {
+	switch op {
+	case NOP:
+		return ClassNop
+	case FFS, EXT, INS, ORFI, ANDFI:
+		return ClassSpecial
+	case BBS, BBC:
+		return ClassBranchBit
+	case LD, ST:
+		return ClassMem
+	case BEQ, BNE, BLEZ, BGTZ, J, JAL, JR:
+		return ClassBranch
+	case MFH, MTH, SEND, MEMRD, MEMWR, WAITPC, DONE:
+		return ClassMagic
+	default:
+		return ClassALU
+	}
+}
+
+// IsControl reports whether op transfers control.
+func IsControl(op Op) bool {
+	switch op {
+	case BEQ, BNE, BLEZ, BGTZ, BBS, BBC, J, JAL, JR, DONE:
+		return true
+	}
+	return false
+}
+
+// writesRd reports whether op writes its Rd register.
+func writesRd(op Op) bool {
+	switch op {
+	case NOP, ST, BEQ, BNE, BLEZ, BGTZ, BBS, BBC, J, JR, DONE,
+		MTH, SEND, MEMRD, MEMWR, WAITPC:
+		return false
+	case JAL:
+		return true // link register, held in Rd
+	}
+	return true
+}
+
+// Def returns the register op writes, or -1.
+func (in *Instr) Def() int {
+	if writesRd(in.Op) && in.Rd != 0 {
+		return int(in.Rd)
+	}
+	return -1
+}
+
+// Uses appends the registers in reads to dst and returns it.
+func (in *Instr) Uses(dst []int) []int {
+	add := func(r uint8) []int {
+		if r != 0 {
+			dst = append(dst, int(r))
+		}
+		return dst
+	}
+	switch in.Op {
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU:
+		dst = add(in.Rs)
+		dst = add(in.Rt)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		dst = add(in.Rs)
+	case FFS, EXT, ORFI, ANDFI:
+		dst = add(in.Rs)
+	case INS:
+		dst = add(in.Rs)
+		dst = add(in.Rd) // INS reads and writes Rd
+	case LD:
+		dst = add(in.Rs)
+	case ST:
+		dst = add(in.Rs)
+		dst = add(in.Rd) // stored value
+	case BEQ, BNE:
+		dst = add(in.Rs)
+		dst = add(in.Rt)
+	case BLEZ, BGTZ, BBS, BBC, JR:
+		dst = add(in.Rs)
+	case MTH, MEMRD, MEMWR:
+		dst = add(in.Rs)
+	}
+	return dst
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case NOP, DONE, WAITPC:
+		return in.Op.String()
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs, in.Rt)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs, in.Imm)
+	case LUI:
+		return fmt.Sprintf("lui r%d, %d", in.Rd, in.Imm)
+	case FFS:
+		return fmt.Sprintf("ffs r%d, r%d", in.Rd, in.Rs)
+	case EXT, INS, ORFI, ANDFI:
+		return fmt.Sprintf("%s r%d, r%d, %d, %d", in.Op, in.Rd, in.Rs, in.Imm, in.Imm2)
+	case LD:
+		return fmt.Sprintf("ld r%d, %d(r%d)", in.Rd, in.Imm, in.Rs)
+	case ST:
+		return fmt.Sprintf("st r%d, %d(r%d)", in.Rd, in.Imm, in.Rs)
+	case BEQ, BNE:
+		return fmt.Sprintf("%s r%d, r%d, @%d", in.Op, in.Rs, in.Rt, in.Target)
+	case BLEZ, BGTZ:
+		return fmt.Sprintf("%s r%d, @%d", in.Op, in.Rs, in.Target)
+	case BBS, BBC:
+		return fmt.Sprintf("%s r%d, %d, @%d", in.Op, in.Rs, in.Imm, in.Target)
+	case J, JAL:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case JR:
+		return fmt.Sprintf("jr r%d", in.Rs)
+	case MFH:
+		return fmt.Sprintf("mfh r%d, %d", in.Rd, in.Imm)
+	case MTH:
+		return fmt.Sprintf("mth %d, r%d", in.Imm, in.Rs)
+	case SEND:
+		return fmt.Sprintf("send %d", in.Imm)
+	case MEMRD, MEMWR:
+		return fmt.Sprintf("%s r%d", in.Op, in.Rs)
+	}
+	return in.Op.String()
+}

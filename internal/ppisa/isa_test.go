@@ -1,0 +1,155 @@
+package ppisa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := map[Op]Class{
+		NOP: ClassNop,
+		ADD: ClassALU, SLTI: ClassALU, LUI: ClassALU,
+		FFS: ClassSpecial, EXT: ClassSpecial, INS: ClassSpecial,
+		ORFI: ClassSpecial, ANDFI: ClassSpecial,
+		BBS: ClassBranchBit, BBC: ClassBranchBit,
+		LD: ClassMem, ST: ClassMem,
+		BEQ: ClassBranch, J: ClassBranch, JR: ClassBranch,
+		MFH: ClassMagic, SEND: ClassMagic, DONE: ClassMagic, WAITPC: ClassMagic,
+	}
+	for op, want := range cases {
+		if got := Classify(op); got != want {
+			t.Errorf("Classify(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	for _, op := range []Op{BEQ, BNE, BLEZ, BGTZ, BBS, BBC, J, JAL, JR, DONE} {
+		if !IsControl(op) {
+			t.Errorf("%v should be control", op)
+		}
+	}
+	for _, op := range []Op{ADD, LD, SEND, MFH, WAITPC} {
+		if IsControl(op) {
+			t.Errorf("%v should not be control", op)
+		}
+	}
+}
+
+func TestDefUses(t *testing.T) {
+	in := Instr{Op: ADD, Rd: 3, Rs: 1, Rt: 2}
+	if in.Def() != 3 {
+		t.Fatalf("Def = %d", in.Def())
+	}
+	uses := in.Uses(nil)
+	if len(uses) != 2 || uses[0] != 1 || uses[1] != 2 {
+		t.Fatalf("Uses = %v", uses)
+	}
+	// r0 never counts.
+	z := Instr{Op: ADD, Rd: 0, Rs: 0, Rt: 5}
+	if z.Def() != -1 {
+		t.Fatal("write to r0 counted as def")
+	}
+	if u := z.Uses(nil); len(u) != 1 || u[0] != 5 {
+		t.Fatalf("Uses = %v", u)
+	}
+	// INS reads its destination; ST reads its data register.
+	ins := Instr{Op: INS, Rd: 4, Rs: 2, Imm: 8, Imm2: 4}
+	if u := ins.Uses(nil); len(u) != 2 {
+		t.Fatalf("INS uses = %v", u)
+	}
+	st := Instr{Op: ST, Rd: 7, Rs: 3}
+	if st.Def() != -1 {
+		t.Fatal("ST counted as def")
+	}
+	if u := st.Uses(nil); len(u) != 2 {
+		t.Fatalf("ST uses = %v", u)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADD, Rd: 1, Rs: 2, Rt: 3}, "add r1, r2, r3"},
+		{Instr{Op: ADDI, Rd: 1, Rs: 2, Imm: -5}, "addi r1, r2, -5"},
+		{Instr{Op: LD, Rd: 4, Rs: 2, Imm: 16}, "ld r4, 16(r2)"},
+		{Instr{Op: EXT, Rd: 1, Rs: 2, Imm: 8, Imm2: 20}, "ext r1, r2, 8, 20"},
+		{Instr{Op: BBS, Rs: 3, Imm: 5, Target: 7}, "bbs r3, 5, @7"},
+		{Instr{Op: MFH, Rd: 2, Imm: 1}, "mfh r2, 1"},
+		{Instr{Op: SEND, Imm: 3}, "send 3"},
+		{Instr{Op: DONE}, "done"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// Dual-issue scheduling must never lose or duplicate instructions across a
+// realistic multi-handler program (regression companion to the structural
+// property test in sched_test.go).
+func TestScheduleProgramConservation(t *testing.T) {
+	src := assemble(t, schedSample)
+	for _, mode := range []Mode{DualIssue, SingleIssue} {
+		p := Schedule(src, mode)
+		if p.StaticNonNops() != p.SrcInstrs {
+			t.Fatalf("mode %v: %d scheduled, %d source", mode, p.StaticNonNops(), p.SrcInstrs)
+		}
+	}
+	// DLX substitution grows the instruction count but also conserves.
+	sub := SubstituteDLX(src)
+	p := Schedule(sub, SingleIssue)
+	nonNop := 0
+	for _, in := range sub.Instrs {
+		if in.Op != NOP {
+			nonNop++
+		}
+	}
+	if p.StaticNonNops() != nonNop {
+		t.Fatalf("substituted: %d scheduled, %d source", p.StaticNonNops(), nonNop)
+	}
+}
+
+func TestAssembleCommentsAndBlank(t *testing.T) {
+	src, err := Assemble(`
+; full-line comment
+# hash comment
+
+h:  nop  ; trailing
+	done # trailing hash
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src.Instrs) != 2 {
+		t.Fatalf("instrs = %d, want 2", len(src.Instrs))
+	}
+}
+
+func TestAssembleLabelOnlyLineAndSameLine(t *testing.T) {
+	src, err := Assemble("a: b: nop\nc:\n done", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Labels["a"] != 0 || src.Labels["b"] != 0 || src.Labels["c"] != 1 {
+		t.Fatalf("labels = %v", src.Labels)
+	}
+}
+
+func TestCodeBytesBySlots(t *testing.T) {
+	src := assemble(t, "h:\tadd r1, r2, r3\n\tdone")
+	d := Schedule(src, DualIssue)
+	if d.CodeBytes() != len(d.Pairs)*8 {
+		t.Fatal("dual-issue code size must count both slots")
+	}
+	s := Schedule(src, SingleIssue)
+	if s.CodeBytes() != len(s.Pairs)*4 {
+		t.Fatal("single-issue code size counts one slot")
+	}
+	if !strings.Contains(d.Pairs[0].A.String(), "add") {
+		t.Fatal("unexpected slot contents")
+	}
+}

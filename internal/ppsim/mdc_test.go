@@ -1,0 +1,103 @@
+package ppsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMDCHitMiss(t *testing.T) {
+	m := NewMDC(4096, 2) // 16 sets of 128-byte lines
+	hit, wb := m.Access(0x100, false)
+	if hit || wb {
+		t.Fatalf("cold access: hit=%v wb=%v", hit, wb)
+	}
+	hit, _ = m.Access(0x108, false) // same line
+	if !hit {
+		t.Fatal("same-line access missed")
+	}
+	if m.Stats.Reads != 2 || m.Stats.ReadMisses != 1 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+}
+
+func TestMDCWritebackOnDirtyEviction(t *testing.T) {
+	m := NewMDC(4096, 2) // 16 sets: lines 0x00, 0x10, 0x20 share set 0
+	m.Access(0<<7, true) // dirty
+	m.Access(16<<7, false)
+	_, wb := m.Access(32<<7, false) // evicts the LRU (the dirty line 0)
+	if !wb {
+		t.Fatal("dirty eviction did not write back")
+	}
+	if m.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", m.Stats.Writebacks)
+	}
+	// Clean evictions do not.
+	m2 := NewMDC(4096, 2)
+	m2.Access(0<<7, false)
+	m2.Access(16<<7, false)
+	if _, wb := m2.Access(32<<7, false); wb {
+		t.Fatal("clean eviction wrote back")
+	}
+}
+
+func TestMDCLRU(t *testing.T) {
+	m := NewMDC(4096, 2)
+	m.Access(0<<7, false)
+	m.Access(16<<7, false)
+	m.Access(0<<7, false)  // touch line 0: line 16 is now LRU
+	m.Access(32<<7, false) // evicts 16
+	if hit, _ := m.Access(0<<7, false); !hit {
+		t.Fatal("MRU line evicted")
+	}
+	if hit, _ := m.Access(16<<7, false); hit {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestMDCFlush(t *testing.T) {
+	m := NewMDC(4096, 2)
+	m.Access(0x100, true)
+	m.Flush()
+	if hit, _ := m.Access(0x100, false); hit {
+		t.Fatal("flush did not invalidate")
+	}
+}
+
+func TestMDCRates(t *testing.T) {
+	m := NewMDC(4096, 2)
+	m.Access(0x0, false) // read miss
+	m.Access(0x0, false) // read hit
+	m.Access(0x80, true) // write miss
+	m.Access(0x80, true) // write hit
+	if r := m.Stats.MissRate(); r != 0.5 {
+		t.Fatalf("miss rate = %v", r)
+	}
+	if r := m.Stats.ReadMissRate(); r != 0.5 {
+		t.Fatalf("read miss rate = %v", r)
+	}
+}
+
+// Property: an MDC access pattern never reports a hit for a line that was
+// never filled, and always hits a line re-accessed immediately.
+func TestMDCProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		m := NewMDC(2048, 2)
+		seen := map[uint64]bool{}
+		for _, a := range addrs {
+			addr := uint64(a) << 3
+			line := addr >> 7
+			hit, _ := m.Access(addr, false)
+			if hit && !seen[line] {
+				return false // hit on never-filled line
+			}
+			seen[line] = true
+			if h2, _ := m.Access(addr, false); !h2 {
+				return false // immediate re-access missed
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

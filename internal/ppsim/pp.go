@@ -1,0 +1,494 @@
+package ppsim
+
+import (
+	"fmt"
+
+	"flashsim/internal/ppisa"
+)
+
+// Status reports why PP execution stopped.
+type Status uint8
+
+const (
+	// StatusDone means the handler executed DONE.
+	StatusDone Status = iota
+	// StatusBlockedSend means a SEND found its outgoing queue full; MAGIC
+	// must call Resume once space is available. The send is retried then.
+	StatusBlockedSend
+	// StatusWaitPC means the handler executed WAITPC and is stalled until
+	// the processor-cache intervention response arrives; MAGIC must call
+	// SetPCResponse then Resume.
+	StatusWaitPC
+)
+
+// OutHeader is an outgoing message composed in the PP's header registers.
+type OutHeader struct {
+	Type uint64
+	Addr uint64
+	Dst  uint64
+	Req  uint64
+	Aux  uint64
+	// Iface is ppisa.SendNet or ppisa.SendPI; Data reports whether the
+	// message carries the handler's data buffer.
+	Iface int
+	Data  bool
+}
+
+// Env is the MAGIC environment a handler executes against. Methods are
+// called synchronously during execution; dt is the number of PP cycles
+// consumed so far in the current run segment, letting the environment
+// timestamp the operation as segment-start + dt.
+type Env interface {
+	// TrySend attempts to enqueue an outgoing message. It returns false if
+	// the destination queue is full, in which case the PP blocks.
+	// Interventions (PIDowngr/PIFlush) also pass through here; the handler
+	// follows them with WAITPC.
+	TrySend(h OutHeader, dt uint64) bool
+	// MemRead initiates a memory read of the line at addr into the
+	// handler's data buffer (handler-initiated, i.e. non-speculative).
+	MemRead(addr uint64, dt uint64)
+	// MemWrite writes the handler's data buffer to the line at addr.
+	MemWrite(addr uint64, dt uint64)
+	// MDCFill services an MDC miss for protocol-memory address addr and
+	// returns the stall penalty in cycles (≥ the 29-cycle base penalty;
+	// more under memory-controller contention). writeback reports whether
+	// a dirty MDC victim must also be written back.
+	MDCFill(addr uint64, writeback bool, dt uint64) uint64
+}
+
+// Stats aggregates the dynamic execution statistics of Table 5.2.
+type Stats struct {
+	Pairs       uint64 // dual-issue pairs (or single instructions) executed
+	Instrs      uint64 // non-NOP instructions executed
+	ALUOrBranch uint64 // dynamic ALU + branch instruction count
+	Special     uint64 // bitfield/branch-on-bit/ffs instructions
+	Invocations uint64 // handler invocations
+	StallCycles uint64 // MDC-miss and send-stall cycles inside handlers
+}
+
+// DualIssueEfficiency returns dynamic non-NOP instructions per pair.
+func (s *Stats) DualIssueEfficiency() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Pairs)
+}
+
+// SpecialUse returns the dynamic fraction of ALU and branch instructions
+// that are bitfield or branch-on-bit instructions.
+func (s *Stats) SpecialUse() float64 {
+	if s.ALUOrBranch == 0 {
+		return 0
+	}
+	return float64(s.Special) / float64(s.ALUOrBranch)
+}
+
+// PairsPerInvocation returns mean instruction pairs per handler invocation.
+func (s *Stats) PairsPerInvocation() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.Pairs) / float64(s.Invocations)
+}
+
+// PP is one protocol processor instance. It executes at most one handler at
+// a time; MAGIC serializes invocations.
+type PP struct {
+	Prog *ppisa.Program
+	Mem  []uint64 // node protocol memory, in 8-byte words
+	MDC  *MDC
+	Env  Env
+
+	Stats Stats
+
+	// Execution state of the in-flight handler.
+	regs    [32]uint64
+	pc      int
+	running bool
+
+	inHdr  [ppisa.NumHdrFields]uint64
+	outHdr OutHeader
+
+	// pendingSend holds the header of a SEND that blocked.
+	pendingSend OutHeader
+	hasPending  bool
+	jrTarget    int
+
+	// stepBudget guards against runaway handlers.
+	stepBudget int
+
+	// segCycles counts PP cycles consumed in the current run segment
+	// (between Start/Resume and the next block or DONE), including MDC
+	// stall penalties. Env implementations read it to timestamp sends and
+	// memory operations.
+	segCycles uint64
+}
+
+// maxHandlerPairs bounds a single handler invocation; real handlers run tens
+// of pairs, so hitting this always indicates a protocol bug.
+const maxHandlerPairs = 100000
+
+// New creates a PP executing prog with the given protocol memory size in
+// bytes.
+func New(prog *ppisa.Program, memBytes int, mdc *MDC, env Env) *PP {
+	return &PP{Prog: prog, Mem: make([]uint64, memBytes/8), MDC: mdc, Env: env}
+}
+
+// InHeader sets incoming-message header field f (visible to MFH).
+func (p *PP) InHeader(f int, v uint64) { p.inHdr[f] = v }
+
+// Reg returns the current value of register r (for tests and invariant
+// checks against the protocol's persistent-register conventions).
+func (p *PP) Reg(r int) uint64 { return p.regs[r] }
+
+// SetPCResponse records the processor-cache intervention response kind,
+// readable by the handler through MFH HdrPCKind after WAITPC.
+func (p *PP) SetPCResponse(kind uint64) { p.inHdr[ppisa.HdrPCKind] = kind }
+
+// Start begins executing the handler named entry and runs until it blocks
+// or completes. It returns the status and the number of PP cycles consumed
+// (excluding stall time spent blocked on external events, which MAGIC
+// accounts separately).
+func (p *PP) Start(entry string) (Status, uint64) {
+	pc, ok := p.Prog.Entries[entry]
+	if !ok {
+		panic(fmt.Sprintf("ppsim: no handler %q", entry))
+	}
+	p.pc = pc
+	p.running = true
+	p.hasPending = false
+	p.stepBudget = maxHandlerPairs
+	p.Stats.Invocations++
+	// The inbox initializes the outgoing header bank from the incoming
+	// header: type and address carry over and the destination defaults to
+	// the sender (reply semantics), so short forwarding handlers only touch
+	// the fields they change.
+	p.outHdr = OutHeader{
+		Type: p.inHdr[ppisa.HdrType],
+		Addr: p.inHdr[ppisa.HdrAddr],
+		Dst:  p.inHdr[ppisa.HdrSrc],
+		Req:  p.inHdr[ppisa.HdrReq],
+		Aux:  p.inHdr[ppisa.HdrAux],
+	}
+	return p.run()
+}
+
+// Resume continues a blocked handler. For StatusBlockedSend the pending
+// send is retried first.
+func (p *PP) Resume() (Status, uint64) {
+	if !p.running {
+		panic("ppsim: Resume on idle PP")
+	}
+	if p.hasPending {
+		if !p.Env.TrySend(p.pendingSend, 0) {
+			return StatusBlockedSend, 0
+		}
+		p.hasPending = false
+	}
+	return p.run()
+}
+
+// Running reports whether a handler is in flight (blocked or mid-Resume).
+func (p *PP) Running() bool { return p.running }
+
+func (p *PP) run() (Status, uint64) {
+	p.segCycles = 0
+	for {
+		if p.stepBudget <= 0 {
+			panic("ppsim: handler exceeded pair budget (protocol livelock?)")
+		}
+		p.stepBudget--
+		pair := &p.Prog.Pairs[p.pc]
+		p.segCycles++
+		p.Stats.Pairs++
+
+		// Both slots read pre-pair register state. Evaluate A then B against
+		// the same snapshot, then commit. The scheduler guarantees no
+		// intra-pair hazards, so evaluating against live registers with
+		// deferred writes is equivalent.
+		var wrA, wrB regWrite
+		actA := p.eval(&pair.A, &wrA)
+		actB := p.eval(&pair.B, &wrB)
+		wrA.commit(&p.regs)
+		wrB.commit(&p.regs)
+
+		next := p.pc + 1
+		st, handled := p.apply(actA, &pair.A, &next)
+		if !handled {
+			st, handled = p.apply(actB, &pair.B, &next)
+		}
+		if handled {
+			if st == StatusDone {
+				p.running = false
+			}
+			if st != statusContinue {
+				return st, p.segCycles
+			}
+		}
+		p.pc = next
+	}
+}
+
+const statusContinue Status = 0xFF
+
+// action describes a side effect computed by eval that must take place
+// after the pair commits.
+type action uint8
+
+const (
+	actNone action = iota
+	actBranch
+	actBranchDyn // JR: target held in PP.jrTarget
+	actSend
+	actWaitPC
+	actDone
+)
+
+type regWrite struct {
+	reg int
+	val uint64
+}
+
+func (w *regWrite) commit(regs *[32]uint64) {
+	if w.reg > 0 {
+		regs[w.reg] = w.val
+	}
+}
+
+// apply performs post-commit control actions. It reports (status, true) if
+// the instruction produced one.
+func (p *PP) apply(a action, in *ppisa.Instr, next *int) (Status, bool) {
+	switch a {
+	case actBranch:
+		*next = in.Target
+		return statusContinue, true
+	case actBranchDyn:
+		*next = p.jrTarget
+		return statusContinue, true
+	case actSend:
+		if !p.Env.TrySend(p.outHdr, p.segCycles) {
+			p.pendingSend = p.outHdr
+			p.hasPending = true
+			// Re-execution resumes at the *next* pair: the send itself
+			// completes when Resume retries it.
+			p.pc = *next
+			return StatusBlockedSend, true
+		}
+		return statusContinue, true
+	case actWaitPC:
+		p.pc = *next
+		return StatusWaitPC, true
+	case actDone:
+		return StatusDone, true
+	}
+	return statusContinue, false
+}
+
+// eval computes one slot. Register writes are returned via wr; control and
+// interface effects via the action. Memory (MDC) stalls add to the segment
+// cycle count.
+func (p *PP) eval(in *ppisa.Instr, wr *regWrite) action {
+	wr.reg = -1
+	R := func(r uint8) uint64 { return p.regs[r] }
+	W := func(v uint64) {
+		if in.Rd != 0 {
+			wr.reg = int(in.Rd)
+			wr.val = v
+		}
+	}
+	countStat := func() {
+		p.Stats.Instrs++
+		switch ppisa.Classify(in.Op) {
+		case ppisa.ClassALU, ppisa.ClassBranch:
+			p.Stats.ALUOrBranch++
+		case ppisa.ClassSpecial:
+			p.Stats.ALUOrBranch++
+			p.Stats.Special++
+		case ppisa.ClassBranchBit:
+			p.Stats.ALUOrBranch++
+			p.Stats.Special++
+		}
+	}
+
+	switch in.Op {
+	case ppisa.NOP:
+		return actNone
+	}
+	countStat()
+
+	switch in.Op {
+	case ppisa.ADD:
+		W(R(in.Rs) + R(in.Rt))
+	case ppisa.SUB:
+		W(R(in.Rs) - R(in.Rt))
+	case ppisa.AND:
+		W(R(in.Rs) & R(in.Rt))
+	case ppisa.OR:
+		W(R(in.Rs) | R(in.Rt))
+	case ppisa.XOR:
+		W(R(in.Rs) ^ R(in.Rt))
+	case ppisa.SLL:
+		W(R(in.Rs) << (R(in.Rt) & 63))
+	case ppisa.SRL:
+		W(R(in.Rs) >> (R(in.Rt) & 63))
+	case ppisa.SRA:
+		W(uint64(int64(R(in.Rs)) >> (R(in.Rt) & 63)))
+	case ppisa.SLT:
+		W(b2u(int64(R(in.Rs)) < int64(R(in.Rt))))
+	case ppisa.SLTU:
+		W(b2u(R(in.Rs) < R(in.Rt)))
+
+	case ppisa.ADDI:
+		W(R(in.Rs) + uint64(in.Imm))
+	case ppisa.ANDI:
+		W(R(in.Rs) & uint64(in.Imm))
+	case ppisa.ORI:
+		W(R(in.Rs) | uint64(in.Imm))
+	case ppisa.XORI:
+		W(R(in.Rs) ^ uint64(in.Imm))
+	case ppisa.SLLI:
+		W(R(in.Rs) << uint(in.Imm&63))
+	case ppisa.SRLI:
+		W(R(in.Rs) >> uint(in.Imm&63))
+	case ppisa.SRAI:
+		W(uint64(int64(R(in.Rs)) >> uint(in.Imm&63)))
+	case ppisa.SLTI:
+		W(b2u(int64(R(in.Rs)) < in.Imm))
+	case ppisa.LUI:
+		W(uint64(in.Imm&0xFFFF) << 16)
+
+	case ppisa.FFS:
+		v := R(in.Rs)
+		if v == 0 {
+			W(64)
+		} else {
+			n := uint64(0)
+			for v&1 == 0 {
+				v >>= 1
+				n++
+			}
+			W(n)
+		}
+	case ppisa.EXT:
+		W((R(in.Rs) >> uint(in.Imm)) & mask(in.Imm2))
+	case ppisa.INS:
+		m := mask(in.Imm2) << uint(in.Imm)
+		W((R(in.Rd) &^ m) | ((R(in.Rs) << uint(in.Imm)) & m))
+	case ppisa.ORFI:
+		W(R(in.Rs) | mask(in.Imm2)<<uint(in.Imm))
+	case ppisa.ANDFI:
+		W(R(in.Rs) &^ (mask(in.Imm2) << uint(in.Imm)))
+
+	case ppisa.LD:
+		addr := R(in.Rs) + uint64(in.Imm)
+		p.mdcAccess(addr, false)
+		W(p.load(addr))
+	case ppisa.ST:
+		addr := R(in.Rs) + uint64(in.Imm)
+		p.mdcAccess(addr, true)
+		p.store(addr, R(in.Rd))
+
+	case ppisa.BEQ:
+		if R(in.Rs) == R(in.Rt) {
+			return actBranch
+		}
+	case ppisa.BNE:
+		if R(in.Rs) != R(in.Rt) {
+			return actBranch
+		}
+	case ppisa.BLEZ:
+		if int64(R(in.Rs)) <= 0 {
+			return actBranch
+		}
+	case ppisa.BGTZ:
+		if int64(R(in.Rs)) > 0 {
+			return actBranch
+		}
+	case ppisa.BBS:
+		if R(in.Rs)>>uint(in.Imm)&1 == 1 {
+			return actBranch
+		}
+	case ppisa.BBC:
+		if R(in.Rs)>>uint(in.Imm)&1 == 0 {
+			return actBranch
+		}
+	case ppisa.J, ppisa.JAL:
+		if in.Op == ppisa.JAL {
+			wr.reg = int(in.Rd)
+			wr.val = uint64(p.pc + 1)
+		}
+		return actBranch
+	case ppisa.JR:
+		p.jrTarget = int(R(in.Rs))
+		return actBranchDyn
+
+	case ppisa.MFH:
+		W(p.inHdr[in.Imm])
+	case ppisa.MTH:
+		v := R(in.Rs)
+		switch in.Imm {
+		case ppisa.HdrType:
+			p.outHdr.Type = v
+		case ppisa.HdrAddr:
+			p.outHdr.Addr = v
+		case ppisa.HdrSrc:
+			p.outHdr.Dst = v // symmetric: "src" slot addresses the target
+		case ppisa.HdrReq:
+			p.outHdr.Req = v
+		case ppisa.HdrAux:
+			p.outHdr.Aux = v
+		}
+	case ppisa.SEND:
+		p.outHdr.Iface = int(in.Imm) & ppisa.SendIface
+		p.outHdr.Data = in.Imm&ppisa.SendData != 0
+		return actSend
+	case ppisa.MEMRD:
+		p.Env.MemRead(R(in.Rs), p.segCycles)
+	case ppisa.MEMWR:
+		p.Env.MemWrite(R(in.Rs), p.segCycles)
+	case ppisa.WAITPC:
+		return actWaitPC
+	case ppisa.DONE:
+		return actDone
+	}
+	return actNone
+}
+
+func (p *PP) mdcAccess(addr uint64, write bool) {
+	hit, wb := p.MDC.Access(addr, write)
+	if !hit {
+		stall := p.Env.MDCFill(addr, wb, p.segCycles)
+		p.segCycles += stall
+		p.Stats.StallCycles += stall
+	}
+}
+
+func (p *PP) load(addr uint64) uint64 {
+	w := addr / 8
+	if w >= uint64(len(p.Mem)) {
+		panic(fmt.Sprintf("ppsim: protocol memory load out of range: %#x", addr))
+	}
+	return p.Mem[w]
+}
+
+func (p *PP) store(addr, v uint64) {
+	w := addr / 8
+	if w >= uint64(len(p.Mem)) {
+		panic(fmt.Sprintf("ppsim: protocol memory store out of range: %#x", addr))
+	}
+	p.Mem[w] = v
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func mask(width int64) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(width) - 1
+}

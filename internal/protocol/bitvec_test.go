@@ -1,0 +1,205 @@
+package protocol
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/ppsim"
+)
+
+func newBitvecRig(t *testing.T, self arch.NodeID) *handlerRig {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	cfg.MemBytesPerNode = 1 << 20
+	cfg.Protocol = arch.ProtoBitVector
+	prog, err := Build(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &recEnv{}
+	pp := ppsim.New(prog.Code, int(prog.Layout.MemBytes), ppsim.NewMDC(cfg.MDCSize, cfg.MDCWays), env)
+	env.pp = pp
+	prog.Layout.InitMemory(pp.Mem, self, cfg.NodeBase(self), cfg.Nodes)
+	if st, _ := pp.Start("pp_init"); st != ppsim.StatusDone {
+		t.Fatal("pp_init did not finish")
+	}
+	return &handlerRig{t: t, pp: pp, lay: prog.Layout, cfg: cfg, env: env, self: self}
+}
+
+func TestBitvecBuildRejectsLargeMachines(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	cfg.Protocol = arch.ProtoBitVector
+	cfg.Nodes = 64
+	if _, err := Build(&cfg); err == nil {
+		t.Fatal("64-node bit-vector build must fail")
+	}
+}
+
+func TestBitvecSharersAndInvalidation(t *testing.T) {
+	r := newBitvecRig(t, 0)
+	for _, n := range []arch.NodeID{2, 5, 9} {
+		sends := r.deliver(arch.Msg{Type: arch.MsgGET, Addr: testAddr, Src: n, Req: n}, true)
+		if len(sends) != 1 || sends[0].Type != arch.MsgPUT {
+			t.Fatalf("GET reply = %+v", sends)
+		}
+	}
+	d := r.dir(testAddr)
+	if len(d.Sharers) != 3 {
+		t.Fatalf("sharers = %v", d.Sharers)
+	}
+	sends := r.deliver(arch.Msg{Type: arch.MsgGETX, Addr: testAddr, Src: 5, Req: 5}, true)
+	var invals []arch.NodeID
+	for _, s := range sends {
+		if s.Type == arch.MsgINVAL {
+			invals = append(invals, s.Dst)
+		}
+	}
+	// ffs walks lowest-first: nodes 2 then 9 (5 is the requester).
+	if len(invals) != 2 || invals[0] != 2 || invals[1] != 9 {
+		t.Fatalf("invals = %v, want [2 9]", invals)
+	}
+	d = r.dir(testAddr)
+	if !d.Dirty || d.Owner != 5 || d.Acks != 2 || !d.Pending {
+		t.Fatalf("dir = %+v", d)
+	}
+	for i := 0; i < 2; i++ {
+		r.deliver(arch.Msg{Type: arch.MsgIACK, Addr: testAddr, Src: 2}, true)
+	}
+	if d := r.dir(testAddr); d.Pending {
+		t.Fatal("pending stuck after acks")
+	}
+}
+
+func TestBitvecLocalBitOnLocalMiss(t *testing.T) {
+	r := newBitvecRig(t, 3)
+	addr := r.cfg.NodeBase(3) + 0x4000 // homed at node 3
+	r.deliver(arch.Msg{Type: arch.MsgGET, Addr: addr, Src: 3, Req: 3}, false)
+	d := r.dir(addr)
+	if len(d.Sharers) != 1 || d.Sharers[0] != 3 {
+		t.Fatalf("own presence bit not set: %v", d.Sharers)
+	}
+	r.deliver(arch.Msg{Type: arch.MsgRPL, Addr: addr, Src: 3, Req: 3}, false)
+	if d := r.dir(addr); len(d.Sharers) != 0 {
+		t.Fatalf("hint did not clear presence: %v", d.Sharers)
+	}
+}
+
+func TestBitvecOwnershipTransfer(t *testing.T) {
+	r := newBitvecRig(t, 0)
+	r.deliver(arch.Msg{Type: arch.MsgGETX, Addr: testAddr, Src: 2, Req: 2}, true)
+	sends := r.deliver(arch.Msg{Type: arch.MsgGETX, Addr: testAddr, Src: 7, Req: 7}, true)
+	if len(sends) != 1 || sends[0].Type != arch.MsgFwdGETX || sends[0].Dst != 2 {
+		t.Fatalf("sends = %+v", sends)
+	}
+	r.deliver(arch.Msg{Type: arch.MsgXFER, Addr: testAddr, Src: 2, Req: 7}, true)
+	d := r.dir(testAddr)
+	if !d.Dirty || d.Owner != 7 || d.Pending {
+		t.Fatalf("dir = %+v", d)
+	}
+	// The old owner's presence bit moved to the new owner.
+	if len(d.Sharers) != 1 || d.Sharers[0] != 7 {
+		t.Fatalf("presence after transfer = %v", d.Sharers)
+	}
+}
+
+func TestBitvecWritebackClearsOwner(t *testing.T) {
+	r := newBitvecRig(t, 0)
+	r.deliver(arch.Msg{Type: arch.MsgGETX, Addr: testAddr, Src: 4, Req: 4}, true)
+	r.deliver(arch.Msg{Type: arch.MsgWB, Addr: testAddr, Src: 4}, true)
+	d := r.dir(testAddr)
+	if d.Dirty || len(d.Sharers) != 0 {
+		t.Fatalf("dir = %+v", d)
+	}
+}
+
+// TestBitvecUsesFFS verifies the invalidation fan-out actually executes
+// find-first-set (the showcase special instruction).
+func TestBitvecUsesFFS(t *testing.T) {
+	r := newBitvecRig(t, 0)
+	for _, n := range []arch.NodeID{1, 2} {
+		r.deliver(arch.Msg{Type: arch.MsgGET, Addr: testAddr, Src: n, Req: n}, true)
+	}
+	before := r.pp.Stats.Special
+	r.deliver(arch.Msg{Type: arch.MsgGETX, Addr: testAddr, Src: 9, Req: 9}, true)
+	if r.pp.Stats.Special == before {
+		t.Fatal("no special instructions executed in the fan-out")
+	}
+}
+
+// TestBitvecDifferential reuses the random-op differential driver against
+// the bit-vector handlers; the reference model's multiset degenerates to a
+// set because presence bits cannot duplicate.
+func TestBitvecDifferential(t *testing.T) {
+	const self = arch.NodeID(0)
+	r := newBitvecRig(t, self)
+	r.env.pcKind = 1
+	ref := newRefDir()
+	seq := []uint16{0x11, 0x2a, 0x102, 0x31, 0x83, 0x44, 0x61, 0x19, 0x22, 0x3b, 0x54}
+	for _, op := range seq {
+		src := arch.NodeID(op>>3) % 8
+		var mt arch.MsgType
+		switch op & 7 {
+		case 0, 1:
+			mt = arch.MsgGET
+		case 2:
+			mt = arch.MsgGETX
+		case 3:
+			mt = arch.MsgWB
+		case 4:
+			mt = arch.MsgRPL
+		default:
+			continue
+		}
+		refApplied := ref.apply(mt, src, self)
+		_ = refApplied
+		r.deliver(arch.Msg{Type: mt, Addr: testAddr, Src: src, Req: src}, src != self)
+		for ref.acks > 0 {
+			r.deliver(arch.Msg{Type: arch.MsgIACK, Addr: testAddr, Src: 1}, true)
+			ref.apply(arch.MsgIACK, 1, self)
+		}
+		if !r.compareBitvec(ref) {
+			t.Fatalf("divergence after %v from %d", mt, src)
+		}
+	}
+}
+
+// compareBitvec compares against the model with presence-bit semantics: the
+// home's own bit doubles as LOCAL, and sharers are a set.
+func (r *handlerRig) compareBitvec(ref *refDir) bool {
+	d := r.dir(testAddr)
+	if d.Dirty != ref.dirty || d.Pending != ref.pending || d.Acks != ref.acks {
+		r.t.Logf("asm = %+v ref = %+v", d, ref)
+		return false
+	}
+	if d.Dirty && d.Owner != ref.owner {
+		r.t.Logf("owner: asm %d ref %d", d.Owner, ref.owner)
+		return false
+	}
+	got := map[arch.NodeID]bool{}
+	for _, s := range d.Sharers {
+		got[s] = true
+	}
+	want := map[arch.NodeID]bool{}
+	for s := range ref.sharers {
+		want[s] = true
+	}
+	if ref.local {
+		want[r.self] = true
+	}
+	if d.Dirty {
+		// The owner's presence bit stays set while dirty; the model tracks
+		// ownership separately.
+		want[ref.owner] = true
+	}
+	if len(got) != len(want) {
+		r.t.Logf("presence: asm %v want %v", got, want)
+		return false
+	}
+	for s := range want {
+		if !got[s] {
+			r.t.Logf("presence: asm %v want %v", got, want)
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,15 @@
+package protocol
+
+import (
+	"flashsim/internal/arch"
+	"testing"
+)
+
+func TestBuildAssembles(t *testing.T) {
+	cfg := arch.DefaultConfig()
+	p, err := Build(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pairs=%d code=%dB entries=%d", len(p.Code.Pairs), p.Code.CodeBytes(), len(p.Code.Entries))
+}

@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+)
+
+// DirInfo is a decoded directory header, for tests and invariant checks.
+type DirInfo struct {
+	Dirty    bool
+	Pending  bool
+	Local    bool
+	Overflow bool
+	Owner    arch.NodeID
+	Sharers  []arch.NodeID
+	Acks     int
+}
+
+// Decode reads the directory state of localLine from a node's protocol
+// memory image, for either protocol program.
+func (l Layout) Decode(mem []uint64, localLine uint64) (DirInfo, error) {
+	if l.Proto == arch.ProtoBitVector {
+		return l.decodeBitvec(mem, localLine), nil
+	}
+	w := mem[l.DirOffset(localLine)/8]
+	d := DirInfo{
+		Dirty:    w>>BDirty&1 == 1,
+		Pending:  w>>BPending&1 == 1,
+		Local:    w>>BLocal&1 == 1,
+		Overflow: w>>BOvfl&1 == 1,
+		Owner:    arch.NodeID(w >> OwnerPos & (1<<OwnerW - 1)),
+		Acks:     int(w >> AckPos & (1<<AckW - 1)),
+	}
+	if w>>BList&1 == 1 {
+		idx := w >> HeadPos & (1<<HeadW - 1)
+		for steps := 0; ; steps++ {
+			if steps > int(l.PoolSize) {
+				return d, fmt.Errorf("protocol: sharer list cycle at line %d", localLine)
+			}
+			e := mem[(uint64(l.PtrBase)+idx*8)/8]
+			d.Sharers = append(d.Sharers, arch.NodeID(e>>NodePos&(1<<NodeW-1)))
+			next := e >> NextPos & (1<<NextW - 1)
+			if next == NullPtr {
+				break
+			}
+			idx = next
+		}
+	}
+	return d, nil
+}
+
+// decodeBitvec reads a bit-vector directory header.
+func (l Layout) decodeBitvec(mem []uint64, localLine uint64) DirInfo {
+	w := mem[l.DirOffset(localLine)/8]
+	d := DirInfo{
+		Dirty:   w>>BDirty&1 == 1,
+		Pending: w>>BPending&1 == 1,
+		Owner:   arch.NodeID(w >> BVOwnerPos & (1<<BVOwnerW - 1)),
+		Acks:    int(w >> BVAckPos & (1<<BVAckW - 1)),
+	}
+	vec := w >> BVPresPos & (1<<BVPresW - 1)
+	for n := 0; n < BVPresW; n++ {
+		if vec>>n&1 == 1 {
+			d.Sharers = append(d.Sharers, arch.NodeID(n))
+		}
+	}
+	return d
+}
+
+// FreeCount walks the free list given the current head index (held in the
+// PP's r24 at run time) and returns its length; it errors on cycles.
+func (l Layout) FreeCount(mem []uint64, head uint64) (int, error) {
+	n := 0
+	for head != NullPtr {
+		if n > int(l.PoolSize) {
+			return n, fmt.Errorf("protocol: free list cycle")
+		}
+		e := mem[(uint64(l.PtrBase)+head*8)/8]
+		head = e >> NextPos & (1<<NextW - 1)
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,135 @@
+package protocol
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/ppisa"
+)
+
+// Program bundles the scheduled handler image with its memory layout.
+type Program struct {
+	Code   *ppisa.Program
+	Layout Layout
+	Source *ppisa.Source // pre-scheduling form, for static analysis
+}
+
+// Build assembles and schedules the protocol for the given configuration.
+// cfg.PPMode selects the Section 5.3 ablation variants.
+func Build(cfg *arch.Config) (*Program, error) {
+	l := NewLayout(cfg)
+	text := handlerSource
+	if cfg.Protocol == arch.ProtoBitVector {
+		if cfg.Nodes > BVMaxNodes {
+			return nil, fmt.Errorf("protocol: bit-vector directory supports at most %d nodes, got %d", BVMaxNodes, cfg.Nodes)
+		}
+		text = bitvecSource
+	}
+	src, err := ppisa.Assemble(text, l.Symbols())
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+	scheduled := src
+	mode := ppisa.DualIssue
+	switch cfg.PPMode {
+	case arch.PPSingleIssue:
+		mode = ppisa.SingleIssue
+	case arch.PPNoSpecial:
+		scheduled = ppisa.SubstituteDLX(src)
+		mode = ppisa.SingleIssue
+	}
+	return &Program{
+		Code:   ppisa.Schedule(scheduled, mode),
+		Layout: l,
+		Source: src,
+	}, nil
+}
+
+// JTEntry is one jump table entry: the handler to dispatch and whether the
+// inbox should initiate a speculative memory read (Section 5.1).
+type JTEntry struct {
+	Entry string
+	Spec  bool
+}
+
+// fromPI reports jump table entries for messages arriving from the
+// processor interface; isHome selects the local/remote handler variant.
+func fromPI(t arch.MsgType, isHome bool) (JTEntry, bool) {
+	if isHome {
+		switch t {
+		case arch.MsgGET:
+			return JTEntry{"pi_get_local", true}, true
+		case arch.MsgGETX:
+			return JTEntry{"pi_getx_local", true}, true
+		case arch.MsgWB:
+			return JTEntry{"pi_wb_local", false}, true
+		case arch.MsgRPL:
+			return JTEntry{"pi_rpl_local", false}, true
+		}
+		return JTEntry{}, false
+	}
+	switch t {
+	case arch.MsgGET:
+		return JTEntry{"pi_get_remote", false}, true
+	case arch.MsgGETX:
+		return JTEntry{"pi_getx_remote", false}, true
+	case arch.MsgWB:
+		return JTEntry{"pi_wb_remote", false}, true
+	case arch.MsgRPL:
+		return JTEntry{"pi_rpl_remote", false}, true
+	}
+	return JTEntry{}, false
+}
+
+// fromNet reports jump table entries for messages arriving from the network
+// interface.
+func fromNet(t arch.MsgType) (JTEntry, bool) {
+	switch t {
+	case arch.MsgGET:
+		return JTEntry{"ni_get", true}, true
+	case arch.MsgGETX:
+		return JTEntry{"ni_getx", true}, true
+	case arch.MsgWB:
+		return JTEntry{"ni_wb", false}, true
+	case arch.MsgRPL:
+		return JTEntry{"ni_rpl", false}, true
+	case arch.MsgFwdGET:
+		return JTEntry{"ni_fwd_get", false}, true
+	case arch.MsgFwdGETX:
+		return JTEntry{"ni_fwd_getx", false}, true
+	case arch.MsgINVAL:
+		return JTEntry{"ni_inval", false}, true
+	case arch.MsgPUT:
+		return JTEntry{"ni_put", false}, true
+	case arch.MsgPUTX:
+		return JTEntry{"ni_putx", false}, true
+	case arch.MsgNAK:
+		return JTEntry{"ni_nak", false}, true
+	case arch.MsgIACK:
+		return JTEntry{"ni_iack", false}, true
+	case arch.MsgSWB:
+		return JTEntry{"ni_swb", false}, true
+	case arch.MsgXFER:
+		return JTEntry{"ni_xfer", false}, true
+	case arch.MsgPCLR:
+		return JTEntry{"ni_pclr", false}, true
+	}
+	return JTEntry{}, false
+}
+
+// Dispatch is the jump table lookup: it maps an incoming message to its
+// handler. fromNet distinguishes the network interface from the processor
+// interface; isHome reports whether this node is the home of the address.
+func Dispatch(t arch.MsgType, viaNet, isHome bool) (JTEntry, error) {
+	var e JTEntry
+	var ok bool
+	if viaNet {
+		e, ok = fromNet(t)
+	} else {
+		e, ok = fromPI(t, isHome)
+	}
+	if !ok {
+		return JTEntry{}, fmt.Errorf("protocol: no handler for %v (viaNet=%v, home=%v)", t, viaNet, isHome)
+	}
+	return e, nil
+}

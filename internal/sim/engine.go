@@ -1,0 +1,109 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that underlies the FLASH system simulator. Components schedule closures at
+// future cycle times; the engine runs them in (cycle, insertion-order) order,
+// so simulations are bit-for-bit reproducible across runs.
+//
+// All times are expressed in 10 ns system clock cycles (the 100 MHz MAGIC
+// clock of the paper).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, in 10 ns system clock cycles.
+type Cycle uint64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-break: FIFO among events at the same cycle
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Cycle
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Executed counts events dispatched since construction; useful as a
+	// progress and runaway-simulation guard.
+	Executed uint64
+
+	// Limit, when nonzero, aborts Run with ErrLimit once the clock passes it.
+	Limit Cycle
+}
+
+// ErrLimit is returned by Run when Engine.Limit is exceeded.
+var ErrLimit = fmt.Errorf("sim: cycle limit exceeded")
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// At schedules fn to run at absolute cycle t. Scheduling in the past (t <
+// Now) panics: it always indicates a model bug.
+func (e *Engine) At(t Cycle, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d cycles from now.
+func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Run dispatches events until the queue drains, Stop is called, or the cycle
+// limit is exceeded.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		if e.Limit != 0 && e.now > e.Limit {
+			return ErrLimit
+		}
+		e.Executed++
+		ev.fn()
+	}
+	return nil
+}
+
+// Pending reports the number of undispatched events.
+func (e *Engine) Pending() int { return len(e.events) }

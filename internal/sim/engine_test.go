@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(10, func() { got = append(got, 2) })
+	e.At(5, func() { got = append(got, 1) })
+	e.At(10, func() { got = append(got, 3) }) // same cycle: FIFO
+	e.At(0, func() { got = append(got, 0) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", e.Now())
+	}
+}
+
+func TestAfterChains(t *testing.T) {
+	e := NewEngine()
+	var last Cycle
+	var step func()
+	n := 0
+	step = func() {
+		last = e.Now()
+		n++
+		if n < 5 {
+			e.After(7, step)
+		}
+	}
+	e.After(1, step)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last != 1+4*7 {
+		t.Fatalf("last = %d, want %d", last, 1+4*7)
+	}
+	if e.Executed != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++; e.Stop() })
+	e.At(2, func() { ran++ })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestLimit(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 100
+	var tick func()
+	tick = func() { e.After(10, tick) }
+	e.At(0, tick)
+	if err := e.Run(); err != ErrLimit {
+		t.Fatalf("err = %v, want ErrLimit", err)
+	}
+}
+
+// Property: events always dispatch in nondecreasing time order, regardless of
+// insertion order.
+func TestMonotonicDispatch(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var prev Cycle
+		ok := true
+		for _, d := range delays {
+			e.At(Cycle(d), func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO among same-cycle events, across arbitrary interleavings of
+// two cycles.
+func TestSameCycleFIFO(t *testing.T) {
+	f := func(picks []bool) bool {
+		e := NewEngine()
+		var a, b []int
+		na, nb := 0, 0
+		for _, p := range picks {
+			if p {
+				na++
+				k := na
+				e.At(3, func() { a = append(a, k) })
+			} else {
+				nb++
+				k := nb
+				e.At(4, func() { b = append(b, k) })
+			}
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != i+1 {
+				return false
+			}
+		}
+		for i := range b {
+			if b[i] != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOccupancyMeter(t *testing.T) {
+	var m OccupancyMeter
+	m.AddBusy(25)
+	m.AddBusy(25)
+	if got := m.Fraction(100); got != 0.5 {
+		t.Fatalf("Fraction = %v, want 0.5", got)
+	}
+	if got := m.Fraction(0); got != 0 {
+		t.Fatalf("Fraction(0) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,20 @@
+package sim
+
+// OccupancyMeter accumulates the number of cycles a resource was busy, for
+// the "memory occupancy" and "PP occupancy" statistics of the paper
+// (Tables 4.1 and 4.2). A resource marks the half-open busy interval
+// [start, end) with AddBusy.
+type OccupancyMeter struct {
+	Busy Cycle
+}
+
+// AddBusy records d busy cycles.
+func (m *OccupancyMeter) AddBusy(d Cycle) { m.Busy += d }
+
+// Fraction returns busy/total, in [0,1]; total==0 yields 0.
+func (m *OccupancyMeter) Fraction(total Cycle) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Busy) / float64(total)
+}

@@ -1,0 +1,31 @@
+package sim
+
+// Server is a reservation-based single-server FIFO resource: callers reserve
+// service intervals and receive start/end times without needing events. This
+// models resources like the memory controller and the processor bus exactly
+// (single server, FIFO, non-preemptive) while keeping the event count low.
+//
+// Reservations must be made in nondecreasing request-time order, which the
+// event engine guarantees for calls made during event dispatch.
+type Server struct {
+	busyUntil Cycle
+	Occ       OccupancyMeter
+	Jobs      uint64
+}
+
+// Reserve books dur cycles of service starting no earlier than at. It
+// returns the service start and end times.
+func (s *Server) Reserve(at Cycle, dur Cycle) (start, end Cycle) {
+	start = at
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end = start + dur
+	s.busyUntil = end
+	s.Occ.AddBusy(dur)
+	s.Jobs++
+	return start, end
+}
+
+// BusyUntil reports when the server frees up.
+func (s *Server) BusyUntil() Cycle { return s.busyUntil }

@@ -1,0 +1,209 @@
+// Package stats aggregates per-run statistics into the quantities the
+// paper reports: execution-time breakdowns (Figures 4.1-4.3), miss rates
+// and read-miss distributions, contentionless read miss times (CRMT),
+// memory and protocol-processor occupancies (Tables 4.1-4.2), speculation
+// effectiveness (Table 5.1), MDC behaviour (Section 5.2), and PP
+// architecture statistics (Table 5.2).
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/sim"
+)
+
+// Breakdown is the execution-time split of Figure 4.1, as fractions of
+// elapsed time averaged over processors.
+type Breakdown struct {
+	Busy, Read, Write, Sync, Cont float64
+}
+
+// Report is the full statistics bundle for one run.
+type Report struct {
+	Machine arch.MachineKind
+	Nodes   int
+	Elapsed sim.Cycle
+
+	Breakdown Breakdown
+
+	Refs       uint64
+	Misses     uint64
+	ReadMisses uint64
+	MissRate   float64
+	ReadClass  [arch.NumMissClasses]float64 // fractions of read misses
+	Naks       uint64
+	Writebacks uint64
+	Hints      uint64
+
+	AvgMemOcc, MaxMemOcc float64
+	MemAccesses          uint64
+
+	// FLASH-only.
+	AvgPPOcc, MaxPPOcc float64
+	HandlerInvocations uint64
+	HandlersPerMiss    float64
+	DualIssueEff       float64
+	SpecialUse         float64
+	PairsPerHandler    float64
+	SpecReads          uint64
+	SpecUseless        float64
+	MDCMissRate        float64
+	MDCReadMissRate    float64
+	MDCAccesses        uint64
+	MDCFillsOfMemOps   float64 // MDC fills as a share of memory operations
+
+	NetMsgs uint64
+}
+
+// Collect gathers a Report from a finished machine.
+func Collect(m *core.Machine) Report {
+	r := Report{Machine: m.Cfg.Kind, Nodes: m.Cfg.Nodes, Elapsed: m.Elapsed}
+	el := float64(m.Elapsed)
+	if el == 0 {
+		el = 1
+	}
+	// Occupancy denominators use the quiesce time: controllers keep
+	// draining writebacks briefly after the last processor retires.
+	total := m.Eng.Now()
+	if total < m.Elapsed {
+		total = m.Elapsed
+	}
+	var classTot [arch.NumMissClasses]uint64
+	var memBusy, memMax float64
+	var specReads, specUseless uint64
+	var memAcc uint64
+	for _, n := range m.Nodes {
+		s := &n.CPU.Stats
+		r.Refs += s.Refs
+		r.Misses += s.Misses
+		r.ReadMisses += s.ReadMisses
+		r.Naks += s.Naks
+		r.Writebacks += s.Writebacks
+		r.Hints += s.Hints
+		for c := 0; c < int(arch.NumMissClasses); c++ {
+			classTot[c] += s.MissClass[c]
+		}
+		r.Breakdown.Busy += float64(s.Busy) / el
+		r.Breakdown.Read += float64(s.ReadStall) / el
+		r.Breakdown.Write += float64(s.WriteStall) / el
+		r.Breakdown.Sync += float64(s.SyncStall) / el
+		r.Breakdown.Cont += float64(s.ContStall) / el
+
+		occ := n.Mem.Occupancy(total)
+		memBusy += occ
+		if occ > memMax {
+			memMax = occ
+		}
+		memAcc += n.Mem.Accesses()
+		specReads += n.Mem.SpecReads
+		specUseless += n.Mem.SpecUseless
+	}
+	np := float64(len(m.Nodes))
+	r.Breakdown.Busy /= np
+	r.Breakdown.Read /= np
+	r.Breakdown.Write /= np
+	r.Breakdown.Sync /= np
+	r.Breakdown.Cont /= np
+	r.AvgMemOcc = memBusy / np
+	r.MaxMemOcc = memMax
+	r.MemAccesses = memAcc
+	if r.Refs > 0 {
+		r.MissRate = float64(r.Misses) / float64(r.Refs)
+	}
+	if r.ReadMisses > 0 {
+		for c := 0; c < int(arch.NumMissClasses); c++ {
+			r.ReadClass[c] = float64(classTot[c]) / float64(r.ReadMisses)
+		}
+	}
+	r.SpecReads = specReads
+	if specReads > 0 {
+		r.SpecUseless = float64(specUseless) / float64(specReads)
+	}
+
+	if m.Cfg.Kind == arch.KindFLASH {
+		var ppBusy, ppMax float64
+		var pairs, instrs, aluBr, special, invocations, mdcR, mdcW, mdcRM, mdcM uint64
+		for _, n := range m.Nodes {
+			mg := n.Magic
+			occ := mg.PPOcc.Fraction(total)
+			ppBusy += occ
+			if occ > ppMax {
+				ppMax = occ
+			}
+			ps := mg.PP.Stats
+			pairs += ps.Pairs
+			instrs += ps.Instrs
+			aluBr += ps.ALUOrBranch
+			special += ps.Special
+			invocations += mg.Stats.Dispatches
+			md := mg.MDC().Stats
+			mdcR += md.Reads
+			mdcW += md.Writes
+			mdcRM += md.ReadMisses
+			mdcM += md.ReadMisses + md.WriteMisses
+		}
+		r.AvgPPOcc = ppBusy / np
+		r.MaxPPOcc = ppMax
+		r.HandlerInvocations = invocations
+		if r.Misses > 0 {
+			r.HandlersPerMiss = float64(invocations) / float64(r.Misses)
+		}
+		if pairs > 0 {
+			r.DualIssueEff = float64(instrs) / float64(pairs)
+		}
+		if aluBr > 0 {
+			r.SpecialUse = float64(special) / float64(aluBr)
+		}
+		if invocations > 0 {
+			r.PairsPerHandler = float64(pairs) / float64(invocations)
+		}
+		r.MDCAccesses = mdcR + mdcW
+		if r.MDCAccesses > 0 {
+			r.MDCMissRate = float64(mdcM) / float64(r.MDCAccesses)
+		}
+		if mdcR > 0 {
+			r.MDCReadMissRate = float64(mdcRM) / float64(mdcR)
+		}
+		if r.MemAccesses > 0 {
+			r.MDCFillsOfMemOps = float64(mdcM) / float64(r.MemAccesses)
+		}
+	}
+	r.NetMsgs = m.Net.Msgs
+	return r
+}
+
+// CRMT computes the contentionless read miss time: the read-miss class
+// distribution weighted by the no-contention latencies (Table 3.3 style).
+func (r *Report) CRMT(lat [arch.NumMissClasses]sim.Cycle) float64 {
+	t := 0.0
+	for c := 0; c < int(arch.NumMissClasses); c++ {
+		t += r.ReadClass[c] * float64(lat[c])
+	}
+	return t
+}
+
+// String renders the report in the layout of the paper's tables.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v machine, %d nodes, %d cycles\n", r.Machine, r.Nodes, r.Elapsed)
+	fmt.Fprintf(&b, "  breakdown: busy %.1f%%  read %.1f%%  write %.1f%%  sync %.1f%%  cont %.1f%%\n",
+		100*r.Breakdown.Busy, 100*r.Breakdown.Read, 100*r.Breakdown.Write, 100*r.Breakdown.Sync, 100*r.Breakdown.Cont)
+	fmt.Fprintf(&b, "  refs %d  miss rate %.3f%%  read misses %d  naks %d\n", r.Refs, 100*r.MissRate, r.ReadMisses, r.Naks)
+	fmt.Fprintf(&b, "  read miss classes:")
+	for c := 0; c < int(arch.NumMissClasses); c++ {
+		fmt.Fprintf(&b, "  %s %.1f%%", arch.MissClass(c), 100*r.ReadClass[c])
+	}
+	fmt.Fprintf(&b, "\n  mem occ avg %.1f%% max %.1f%%", 100*r.AvgMemOcc, 100*r.MaxMemOcc)
+	if r.Machine == arch.KindFLASH {
+		fmt.Fprintf(&b, "  PP occ avg %.1f%% max %.1f%%", 100*r.AvgPPOcc, 100*r.MaxPPOcc)
+		fmt.Fprintf(&b, "\n  PP: dual-issue %.2f  special %.0f%%  pairs/handler %.1f  handlers/miss %.2f",
+			r.DualIssueEff, 100*r.SpecialUse, r.PairsPerHandler, r.HandlersPerMiss)
+		fmt.Fprintf(&b, "\n  MDC: miss %.2f%% read-miss %.2f%%  spec useless %.1f%%",
+			100*r.MDCMissRate, 100*r.MDCReadMissRate, 100*r.SpecUseless)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/cpu"
+	"flashsim/internal/sim"
+)
+
+func runTiny(t *testing.T, kind arch.MachineKind) Report {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	cfg.Kind = kind
+	cfg.Nodes = 2
+	cfg.MemBytesPerNode = 1 << 20
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []cpu.RefSource{
+		&core.ScriptSource{Refs: []cpu.Ref{
+			{Kind: arch.RefRead, Addr: 0x1000, Busy: 400},
+			{Kind: arch.RefWrite, Addr: 0x1000, Busy: 400},
+		}},
+		&core.ScriptSource{Refs: []cpu.Ref{
+			{Kind: arch.RefRead, Addr: 0x1000, Busy: 8000},
+		}},
+	}
+	if err := m.Run(srcs, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return Collect(m)
+}
+
+func TestCollectFLASH(t *testing.T) {
+	r := runTiny(t, arch.KindFLASH)
+	if r.Refs != 3 || r.ReadMisses != 2 {
+		t.Fatalf("refs=%d readMisses=%d", r.Refs, r.ReadMisses)
+	}
+	if r.Elapsed == 0 {
+		t.Fatal("no elapsed time")
+	}
+	if r.Breakdown.Busy <= 0 || r.Breakdown.Read <= 0 {
+		t.Fatalf("breakdown: %+v", r.Breakdown)
+	}
+	if r.HandlerInvocations == 0 || r.DualIssueEff <= 1.0 {
+		t.Fatalf("PP stats: %+v", r)
+	}
+	if r.MissRate <= 0 || r.MissRate > 1 {
+		t.Fatalf("miss rate %v", r.MissRate)
+	}
+	// The remote read (node 1) must be classified.
+	total := 0.0
+	for c := 0; c < int(arch.NumMissClasses); c++ {
+		total += r.ReadClass[c]
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("class fractions sum to %v", total)
+	}
+	s := r.String()
+	for _, want := range []string{"FLASH machine", "miss rate", "dual-issue", "MDC"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCollectIdeal(t *testing.T) {
+	r := runTiny(t, arch.KindIdeal)
+	if r.Machine != arch.KindIdeal {
+		t.Fatal("kind wrong")
+	}
+	if r.HandlerInvocations != 0 || r.AvgPPOcc != 0 {
+		t.Fatal("ideal machine must report no PP activity")
+	}
+}
+
+func TestCRMT(t *testing.T) {
+	var r Report
+	r.ReadClass[arch.MissLocalClean] = 0.5
+	r.ReadClass[arch.MissRemoteClean] = 0.5
+	lat := [arch.NumMissClasses]sim.Cycle{24, 100, 92, 100, 136}
+	if got := r.CRMT(lat); got != 58 {
+		t.Fatalf("CRMT = %v, want 58", got)
+	}
+}

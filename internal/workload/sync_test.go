@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+)
+
+// syncCost runs `iters` barrier episodes on `procs` processors and returns
+// cycles per barrier and total NAKs.
+func syncCost(t *testing.T, kind arch.MachineKind, procs, iters int) (perBarrier float64, naks uint64) {
+	t.Helper()
+	cfg := arch.DefaultConfig()
+	cfg.Kind = kind
+	cfg.Nodes = procs
+	cfg.MemBytesPerNode = 1 << 20
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(m)
+	bar := w.NewBarrier(procs, 0)
+	err = w.Run(func(c *Ctx) {
+		for i := 0; i < iters; i++ {
+			c.Busy(200)
+			bar.Wait(c)
+		}
+	}, 500_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m.Nodes {
+		naks += n.CPU.Stats.Naks
+	}
+	return float64(m.Elapsed) / float64(iters), naks
+}
+
+func TestBarrierCost(t *testing.T) {
+	for _, procs := range []int{4, 16} {
+		fb, fn := syncCost(t, arch.KindFLASH, procs, 10)
+		ib, in := syncCost(t, arch.KindIdeal, procs, 10)
+		t.Logf("procs=%2d  FLASH %.0f cyc/barrier (naks %d)   ideal %.0f cyc/barrier (naks %d)  ratio %.1fx",
+			procs, fb, fn, ib, in, fb/ib)
+		if fb/ib > 25 {
+			t.Errorf("FLASH barrier pathologically slow: %.1fx ideal", fb/ib)
+		}
+	}
+}
+
+func TestLockHandoffCost(t *testing.T) {
+	for _, kind := range []arch.MachineKind{arch.KindFLASH, arch.KindIdeal} {
+		cfg := arch.DefaultConfig()
+		cfg.Kind = kind
+		cfg.Nodes = 8
+		cfg.MemBytesPerNode = 1 << 20
+		m, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := NewWorld(m)
+		lock := w.NewLock(0)
+		cell := w.AllocOnNode(arch.LineSize, 1)
+		const iters = 20
+		err = w.Run(func(c *Ctx) {
+			for i := 0; i < iters; i++ {
+				lock.Acquire(c)
+				c.WriteU(cell, c.ReadU(cell)+1)
+				lock.Release(c)
+				c.Busy(100)
+			}
+		}, 500_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := *m.Word(cell); got != uint64(8*iters) {
+			t.Fatalf("%v: counter %d, want %d", kind, got, 8*iters)
+		}
+		var naks uint64
+		for _, n := range m.Nodes {
+			naks += n.CPU.Stats.Naks
+		}
+		t.Logf("%v: %d cycles for %d critical sections (%.0f/section), naks %d",
+			kind, m.Elapsed, 8*iters, float64(m.Elapsed)/float64(8*iters), naks)
+	}
+}

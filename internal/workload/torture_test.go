@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+)
+
+func tortureConfig(kind arch.MachineKind) arch.Config {
+	cfg := arch.DefaultConfig()
+	cfg.Kind = kind
+	cfg.Nodes = 4
+	cfg.CacheSize = 8 << 10 // small cache: forces writebacks and hints
+	cfg.MemBytesPerNode = 256 << 10
+	cfg.MDCSize = 8 << 10
+	return cfg
+}
+
+// runTorture drives a mixed random+synchronized workload and returns the
+// machine for inspection.
+func runTorture(t *testing.T, cfg arch.Config, iters int) (*core.Machine, *World) {
+	t.Helper()
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld(m)
+	shared := w.NewArray(4096)
+	counters := w.NewArray(64)
+	lock := w.NewLock(1)
+	barrier := w.NewBarrier(cfg.Nodes, 2)
+	total := w.AllocOnNode(arch.LineSize, 3)
+
+	err = w.Run(func(c *Ctx) {
+		for i := 0; i < iters; i++ {
+			r := c.Rand()
+			idx := int(r % 4096)
+			switch (r >> 33) % 8 {
+			case 0, 1, 2, 3:
+				c.ReadU(shared.Addr(idx))
+			case 4, 5:
+				c.WriteU(shared.Addr(idx), r)
+			case 6:
+				c.FetchAdd(counters.Addr(int(r%64)), 1)
+			case 7:
+				c.ReadU(counters.Addr(int(r % 64)))
+			}
+			c.Busy(int(r % 32))
+		}
+		barrier.Wait(c)
+		for i := 0; i < 25; i++ {
+			lock.Acquire(c)
+			c.WriteU(total, c.ReadU(total)+1)
+			lock.Release(c)
+			c.Busy(int(c.Rand() % 64))
+		}
+		barrier.Wait(c)
+	}, 200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := *m.Word(total); got != uint64(cfg.Nodes*25) {
+		t.Fatalf("lock-protected counter = %d, want %d", got, cfg.Nodes*25)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	return m, w
+}
+
+func TestTortureFLASH(t *testing.T) {
+	m, _ := runTorture(t, tortureConfig(arch.KindFLASH), 1500)
+	if m.Elapsed == 0 {
+		t.Fatal("no elapsed time")
+	}
+	// Re-run for determinism.
+	m2, _ := runTorture(t, tortureConfig(arch.KindFLASH), 1500)
+	if m.Elapsed != m2.Elapsed {
+		t.Fatalf("nondeterministic: %d vs %d cycles", m.Elapsed, m2.Elapsed)
+	}
+}
+
+func TestTortureIdeal(t *testing.T) {
+	m, _ := runTorture(t, tortureConfig(arch.KindIdeal), 1500)
+	m2, _ := runTorture(t, tortureConfig(arch.KindIdeal), 1500)
+	if m.Elapsed != m2.Elapsed {
+		t.Fatalf("nondeterministic: %d vs %d cycles", m.Elapsed, m2.Elapsed)
+	}
+}
+
+// The FLASH machine must be slower than (or equal to) the ideal machine on
+// the same workload — the paper's core premise.
+func TestFlashSlowerThanIdeal(t *testing.T) {
+	mf, _ := runTorture(t, tortureConfig(arch.KindFLASH), 1000)
+	mi, _ := runTorture(t, tortureConfig(arch.KindIdeal), 1000)
+	if mf.Elapsed < mi.Elapsed {
+		t.Fatalf("FLASH (%d cycles) faster than ideal (%d cycles)", mf.Elapsed, mi.Elapsed)
+	}
+	t.Logf("FLASH %d cycles, ideal %d cycles (+%.1f%%)", mf.Elapsed, mi.Elapsed,
+		100*float64(mf.Elapsed-mi.Elapsed)/float64(mi.Elapsed))
+}
+
+// TestTortureBitVector runs the torture workload on the alternative
+// bit-vector directory protocol — the same machine running a different
+// handler program.
+func TestTortureBitVector(t *testing.T) {
+	cfg := tortureConfig(arch.KindFLASH)
+	cfg.Protocol = arch.ProtoBitVector
+	m, _ := runTorture(t, cfg, 1500)
+	m2, _ := runTorture(t, cfg, 1500)
+	if m.Elapsed != m2.Elapsed {
+		t.Fatalf("nondeterministic: %d vs %d", m.Elapsed, m2.Elapsed)
+	}
+}

@@ -1,0 +1,313 @@
+// Package workload is the execution-driven front end of the simulator — the
+// role Tango Lite played for FlashLite in the paper. Application threads
+// run as goroutines, issue memory references through a per-processor
+// context, and are resumed in simulated-time order, so data values flow
+// through the machine in the order the simulated memory system completes
+// them. Synchronization primitives are built on simulated memory (test-and-
+// test&set locks, sense-reversing barriers), so lock and barrier traffic
+// generates real coherence messages and real hot-spotting.
+//
+// Contract: application threads must never block on Go-level constructs
+// that depend on another simulated thread's progress; all inter-thread
+// communication goes through simulated memory.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/cpu"
+	"flashsim/internal/sim"
+)
+
+// World wraps a machine with an address-space allocator and thread support.
+type World struct {
+	M   *core.Machine
+	Cfg *arch.Config
+
+	bump   []arch.Addr // per-node page-aligned bump pointer
+	rrNext int
+	wg     sync.WaitGroup
+}
+
+// NewWorld creates the workload environment for a machine.
+func NewWorld(m *core.Machine) *World {
+	w := &World{M: m, Cfg: &m.Cfg}
+	w.bump = make([]arch.Addr, m.Cfg.Nodes)
+	for i := range w.bump {
+		// Skew each node's allocation origin by its id (page coloring):
+		// the node-memory stride is a multiple of the cache way size, so
+		// without the skew, page k of a round-robin array lands in the same
+		// cache sets on every node and interleaved arrays thrash a handful
+		// of sets.
+		w.bump[i] = m.Cfg.NodeBase(arch.NodeID(i)) + arch.Addr(i)*arch.PageSize
+	}
+	return w
+}
+
+// AllocOnNode reserves bytes of memory homed at node n, page-aligned.
+func (w *World) AllocOnNode(bytes int, n arch.NodeID) arch.Addr {
+	a := w.bump[n]
+	pages := (bytes + arch.PageSize - 1) / arch.PageSize
+	w.bump[n] += arch.Addr(pages * arch.PageSize)
+	if w.bump[n] > w.Cfg.NodeBase(n)+arch.Addr(w.Cfg.MemBytesPerNode) {
+		panic(fmt.Sprintf("workload: node %d out of memory", n))
+	}
+	return a
+}
+
+// Alloc reserves bytes under the machine's placement policy. Under
+// round-robin (and, for lack of touch information, first-touch) pages
+// rotate across nodes; under node-zero everything lands on node 0.
+// Contiguity is per page: the returned region is virtually contiguous only
+// when it fits in one page or the policy keeps it on one node, so callers
+// that index across page boundaries should use AllocStriped or per-node
+// allocation. For simplicity Alloc allocates whole pages per node in
+// rotation and returns the address of a contiguous region on ONE node when
+// bytes <= PageSize.
+func (w *World) Alloc(bytes int) arch.Addr {
+	switch w.Cfg.Placement {
+	case arch.PlaceNodeZero:
+		return w.AllocOnNode(bytes, 0)
+	default:
+		n := arch.NodeID(w.rrNext % w.Cfg.Nodes)
+		w.rrNext++
+		return w.AllocOnNode(bytes, n)
+	}
+}
+
+// AllocPlaced reserves bytes with a preferred home, honoring the machine's
+// placement policy: under first-touch (partitioned codes touch their own
+// data first) the preferred node wins; round-robin ignores the preference;
+// node-zero concentrates everything.
+func (w *World) AllocPlaced(bytes int, preferred arch.NodeID) arch.Addr {
+	switch w.Cfg.Placement {
+	case arch.PlaceFirstTouch:
+		return w.AllocOnNode(bytes, preferred%arch.NodeID(w.Cfg.Nodes))
+	case arch.PlaceNodeZero:
+		return w.AllocOnNode(bytes, 0)
+	default:
+		return w.Alloc(bytes)
+	}
+}
+
+// Array is a distributed array of 8-byte elements: a sequence of extents,
+// each homed on one node, indexed globally. It gives workloads contiguous
+// logical indexing over physically distributed pages.
+type Array struct {
+	extents []extent
+	perExt  int // elements per extent
+}
+
+type extent struct {
+	base arch.Addr
+	n    int
+}
+
+// ElemsPerPage is the number of 8-byte elements in one placement page.
+const ElemsPerPage = arch.PageSize / 8
+
+// NewArray builds a distributed array of n 8-byte elements, placed
+// page-by-page per the machine's policy: round-robin rotates pages across
+// nodes, node-zero concentrates them, and "first-touch" without touch
+// information behaves like round-robin (partitioned workloads use
+// NewArrayBlocked for explicit good placement instead).
+func (w *World) NewArray(n int) *Array {
+	a := &Array{perExt: ElemsPerPage}
+	for off := 0; off < n; off += ElemsPerPage {
+		sz := ElemsPerPage
+		if n-off < sz {
+			sz = n - off
+		}
+		a.extents = append(a.extents, extent{w.Alloc(arch.PageSize), sz})
+	}
+	return a
+}
+
+// NewArrayBlocked builds a distributed array of n elements split into
+// `parts` contiguous blocks, block i homed on node i%Nodes — the layout a
+// NUMA-aware application (or a first-touch policy under a partitioned
+// access pattern) produces.
+func (w *World) NewArrayBlocked(n, parts int) *Array {
+	if parts <= 0 {
+		parts = w.Cfg.Nodes
+	}
+	a := &Array{perExt: ElemsPerPage}
+	per := (n + parts - 1) / parts
+	for p := 0; p < parts; p++ {
+		lo := p * per
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		node := arch.NodeID(p % w.Cfg.Nodes)
+		if w.Cfg.Placement == arch.PlaceNodeZero {
+			node = 0
+		}
+		bytes := (hi - lo) * 8
+		base := w.AllocOnNode(bytes, node)
+		for off := lo; off < hi; off += ElemsPerPage {
+			sz := ElemsPerPage
+			if hi-off < sz {
+				sz = hi - off
+			}
+			a.extents = append(a.extents, extent{base, sz})
+			base += arch.Addr(sz * 8)
+		}
+	}
+	return a
+}
+
+// SingleExtent wraps one contiguous region of n 8-byte elements as an
+// Array (for explicitly placed structures like LU blocks).
+func SingleExtent(base arch.Addr, n int) *Array {
+	return &Array{perExt: n, extents: []extent{{base, n}}}
+}
+
+// Addr returns the physical address of element i.
+func (a *Array) Addr(i int) arch.Addr {
+	e := a.extents[i/a.perExt]
+	return e.base + arch.Addr(i%a.perExt)*8
+}
+
+// Len returns the element count.
+func (a *Array) Len() int {
+	n := 0
+	for _, e := range a.extents {
+		n += e.n
+	}
+	return n
+}
+
+// --- thread contexts ---
+
+// Ctx is a simulated thread's interface to its processor. All methods must
+// be called from the thread's own goroutine.
+type Ctx struct {
+	W  *World
+	ID int
+
+	refs   chan cpu.Ref
+	done   chan struct{}
+	out    uint64
+	busy   uint32
+	senses map[*Barrier]uint64
+	prng   uint64
+}
+
+// Busy charges n processor instructions of compute time before the next
+// reference (4 instructions per system cycle).
+func (c *Ctx) Busy(n int) { c.busy += uint32(n) }
+
+func (c *Ctx) issue(r cpu.Ref) {
+	r.Busy = c.busy + 1 // every reference is at least one instruction
+	c.busy = 0
+	c.refs <- r
+}
+
+// ReadU loads the 8-byte word at a.
+func (c *Ctx) ReadU(a arch.Addr) uint64 {
+	c.issue(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out})
+	<-c.done
+	return c.out
+}
+
+// WriteU stores v at a (non-blocking in the simulated machine).
+func (c *Ctx) WriteU(a arch.Addr, v uint64) {
+	c.issue(cpu.Ref{Kind: arch.RefWrite, Addr: a, WVal: v})
+}
+
+// ReadF and WriteF move float64 values.
+func (c *Ctx) ReadF(a arch.Addr) float64     { return math.Float64frombits(c.ReadU(a)) }
+func (c *Ctx) WriteF(a arch.Addr, v float64) { c.WriteU(a, math.Float64bits(v)) }
+
+// readSync is a spin-loop read, attributed to synchronization time.
+func (c *Ctx) readSync(a arch.Addr) uint64 {
+	c.issue(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out, Sync: true})
+	<-c.done
+	return c.out
+}
+
+func (c *Ctx) writeSync(a arch.Addr, v uint64) {
+	c.issue(cpu.Ref{Kind: arch.RefWrite, Addr: a, WVal: v, Sync: true})
+}
+
+// Swap atomically exchanges v into a, returning the old value.
+func (c *Ctx) Swap(a arch.Addr, v uint64) uint64 {
+	c.issue(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWSwap, Addr: a, WVal: v, Out: &c.out, Sync: true})
+	<-c.done
+	return c.out
+}
+
+// FetchAdd atomically adds v to a, returning the old value. It is part of
+// the synchronization library (stall time charged to Sync).
+func (c *Ctx) FetchAdd(a arch.Addr, v uint64) uint64 {
+	c.issue(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWAdd, Addr: a, WVal: v, Out: &c.out, Sync: true})
+	<-c.done
+	return c.out
+}
+
+// FetchAddData is an atomic add on application data (stall time charged as
+// an ordinary write): the shared-counter updates of codes like MP3D.
+func (c *Ctx) FetchAddData(a arch.Addr, v uint64) uint64 {
+	c.issue(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWAdd, Addr: a, WVal: v, Out: &c.out})
+	<-c.done
+	return c.out
+}
+
+// Rand returns a deterministic per-thread pseudo-random uint64 (xorshift);
+// workloads must not use math/rand global state so runs stay reproducible.
+func (c *Ctx) Rand() uint64 {
+	c.prng ^= c.prng << 13
+	c.prng ^= c.prng >> 7
+	c.prng ^= c.prng << 17
+	return c.prng
+}
+
+// threadSource adapts a Ctx to cpu.RefSource.
+type threadSource struct{ c *Ctx }
+
+func (s threadSource) Next() (cpu.Ref, bool) {
+	r, ok := <-s.c.refs
+	return r, ok
+}
+
+func (s threadSource) ReadDone() { s.c.done <- struct{}{} }
+
+// Run spawns one goroutine per processor executing fn(ctx) and runs the
+// machine to completion. limit bounds simulated cycles (0 = none).
+func (w *World) Run(fn func(*Ctx), limit uint64) error {
+	n := w.Cfg.Nodes
+	srcs := make([]cpu.RefSource, n)
+	for i := 0; i < n; i++ {
+		c := &Ctx{
+			W: w, ID: i,
+			refs:   make(chan cpu.Ref),
+			done:   make(chan struct{}),
+			senses: make(map[*Barrier]uint64),
+			prng:   uint64(i)*0x9E3779B97F4A7C15 + 0x1234567,
+		}
+		srcs[i] = threadSource{c}
+		w.wg.Add(1)
+		go func(c *Ctx) {
+			defer w.wg.Done()
+			defer close(c.refs)
+			fn(c)
+		}(c)
+	}
+	err := w.M.Run(srcs, sim.Cycle(limit))
+	if err != nil {
+		// A deadlocked or over-limit machine leaves threads parked on their
+		// handshake channels; they are abandoned (the error is fatal to the
+		// simulation anyway).
+		return err
+	}
+	w.wg.Wait()
+	return nil
+}
