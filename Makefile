@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build verify test bench exp clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify line (keep in sync with ROADMAP.md).
+verify:
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+test:
+	$(GO) test ./...
+
+# Microbenchmarks 5x -> BENCH_sim.json (ns/op, B/op, allocs/op per run).
+bench:
+	scripts/bench.sh
+
+# Full experiment suite in benchmark form, one iteration each.
+exp:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	flashexp [-scale N] [-procs N] [-noverify] <experiment>...
+//	flashexp [-scale N] [-procs N] [-noverify] [-parallel N] <experiment>...
 //	flashexp all
 //
 // Experiments: table3.3 table3.4 fig4.1 fig4.2 fig4.3 sec4.3 sec4.5
@@ -27,9 +27,10 @@ func main() {
 	scale := flag.Int("scale", 4, "problem size divisor (1 = paper sizes)")
 	procs := flag.Int("procs", 0, "override processor count (0 = paper defaults)")
 	noverify := flag.Bool("noverify", false, "skip result verification after runs")
+	parallel := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = adaptive from GOMAXPROCS)")
 	flag.Parse()
 
-	o := exp.Options{Scale: *scale, Verify: !*noverify}
+	o := exp.Options{Scale: *scale, Verify: !*noverify, Parallelism: *parallel}
 	if *procs > 0 {
 		o.Procs = *procs
 	}

@@ -16,14 +16,15 @@ type ScriptSource struct {
 	i    int
 }
 
-// Next implements cpu.RefSource.
-func (s *ScriptSource) Next() (cpu.Ref, bool) {
+// NextBatch implements cpu.RefSource: the whole remaining script is one
+// batch (scripted sources have no thread to hand control back to).
+func (s *ScriptSource) NextBatch() ([]cpu.Ref, bool) {
 	if s.i >= len(s.Refs) {
-		return cpu.Ref{}, false
+		return nil, false
 	}
-	r := s.Refs[s.i]
-	s.i++
-	return r, true
+	b := s.Refs[s.i:]
+	s.i = len(s.Refs)
+	return b, true
 }
 
 // ReadDone implements cpu.RefSource (scripted sources carry no thread).

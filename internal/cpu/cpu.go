@@ -37,12 +37,16 @@ type Ref struct {
 	Out  *uint64
 }
 
-// RefSource produces a processor's reference stream. Next is called from
-// the simulation goroutine and may block until the workload thread produces
-// the next reference; it must never depend on another simulated processor
-// making progress except through simulated memory.
+// RefSource produces a processor's reference stream in batches: each call
+// returns the next run of references in program order, so a burst of
+// non-blocking references costs one handshake instead of one per reference.
+// NextBatch is called from the simulation goroutine and may block until the
+// workload thread produces its next flush; it must never depend on another
+// simulated processor making progress except through simulated memory. The
+// returned slice is owned by the CPU until every element has been consumed
+// and the final blocking reference's ReadDone has fired.
 type RefSource interface {
-	Next() (Ref, bool)
+	NextBatch() ([]Ref, bool)
 	// ReadDone is invoked after a read or RMW completes and its Out value
 	// is filled, releasing the workload thread.
 	ReadDone()
@@ -129,7 +133,11 @@ type CPU struct {
 	mshrs []mshrEntry
 	inUse int
 
-	pending    *Ref // reference being retried/blocked
+	batch    []Ref // current batch from the source
+	batchPos int   // next unconsumed batch element
+
+	pending    Ref  // reference being retried/blocked
+	hasPending bool // pending holds an unretired reference
 	pendingAt  sim.Cycle
 	blocked    blockReason
 	blockEntry int
@@ -176,8 +184,8 @@ func (c *CPU) run(vt sim.Cycle) {
 	}
 	limit := vt + c.chunk
 	for {
-		if c.pending == nil {
-			ref, ok := c.src.Next()
+		if !c.hasPending {
+			ref, ok := c.nextRef()
 			if !ok {
 				c.done = true
 				c.Stats.Finished = true
@@ -188,18 +196,36 @@ func (c *CPU) run(vt sim.Cycle) {
 				return
 			}
 			vt += c.charge(&ref)
-			c.pending = &ref
+			c.pending = ref
+			c.hasPending = true
 			c.pendingAt = vt
 		}
 		if !c.tryRef(vt) {
 			return // blocked; resume() restarts us
 		}
-		c.pending = nil
+		c.hasPending = false
 		if vt >= limit {
 			c.eng.At(vt, func() { c.run(vt) })
 			return
 		}
 	}
+}
+
+// nextRef takes the next reference from the current batch, refilling from
+// the source when it runs dry. The steady-state path is a slice index — no
+// handshake, no allocation.
+func (c *CPU) nextRef() (Ref, bool) {
+	for c.batchPos >= len(c.batch) {
+		b, ok := c.src.NextBatch()
+		if !ok {
+			c.batch = nil
+			return Ref{}, false
+		}
+		c.batch, c.batchPos = b, 0
+	}
+	r := c.batch[c.batchPos]
+	c.batchPos++
+	return r, true
 }
 
 // charge converts the reference's busy instruction count to cycles and
@@ -228,7 +254,7 @@ func (c *CPU) charge(ref *Ref) sim.Cycle {
 // tryRef attempts the pending reference at time vt. It returns false if the
 // processor blocked.
 func (c *CPU) tryRef(vt sim.Cycle) bool {
-	ref := c.pending
+	ref := &c.pending
 	line := ref.Addr.Line()
 
 	// An outstanding miss to the same line?
@@ -441,7 +467,7 @@ func (c *CPU) resume(at sim.Cycle, consumed bool) {
 	if at < c.pendingAt {
 		at = c.pendingAt
 	}
-	ref := c.pending
+	ref := &c.pending
 	stall := at - c.pendingAt
 	switch {
 	case ref.Sync:
@@ -453,7 +479,7 @@ func (c *CPU) resume(at sim.Cycle, consumed bool) {
 	}
 	c.pendingAt = at
 	if consumed {
-		c.pending = nil
+		c.hasPending = false
 	}
 	c.eng.At(at, func() { c.run(at) })
 }

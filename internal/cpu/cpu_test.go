@@ -39,13 +39,15 @@ type scripted struct {
 	i    int
 }
 
-func (s *scripted) Next() (Ref, bool) {
+// NextBatch delivers one reference per batch, exercising the CPU's refill
+// loop on every reference.
+func (s *scripted) NextBatch() ([]Ref, bool) {
 	if s.i >= len(s.refs) {
-		return Ref{}, false
+		return nil, false
 	}
-	r := s.refs[s.i]
+	b := s.refs[s.i : s.i+1]
 	s.i++
-	return r, true
+	return b, true
 }
 func (s *scripted) ReadDone() {}
 

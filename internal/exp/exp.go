@@ -5,7 +5,9 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -28,6 +30,28 @@ type Options struct {
 	// Verify re-checks application results and machine coherence after
 	// every run (slower; on by default in tests).
 	Verify bool
+	// Parallelism caps how many simulations an experiment runs at once.
+	// 0 sizes the fan-out adaptively from the host: GOMAXPROCS divided by
+	// the simulated processor count (each running simulation keeps roughly
+	// one OS thread hot plus one goroutine per simulated processor),
+	// floored at 2 so small hosts keep the FLASH/ideal pair concurrent.
+	Parallelism int
+}
+
+// workers returns the experiment fan-out for simulations of simProcs
+// processors each: the explicit Parallelism override, or the adaptive size.
+func (o Options) workers(simProcs int) int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	if simProcs < 1 {
+		simProcs = 1
+	}
+	w := runtime.GOMAXPROCS(0) / simProcs
+	if w < 2 {
+		w = 2
+	}
+	return w
 }
 
 // DefaultOptions is the quick configuration: problem sizes a quarter of
@@ -132,13 +156,18 @@ func baseConfig(procs int) arch.Config {
 	return cfg
 }
 
-// parallelMap runs f over the items concurrently (bounded: each simulation
-// already spawns one goroutine per simulated processor, and oversubscribing
-// the host thrashes the workload handshake channels), preserving order.
-func parallelMap[T any](items []string, f func(string) (T, error)) ([]T, error) {
+// parallelMap runs f over the items with at most `workers` in flight
+// (bounded: each simulation already spawns one goroutine per simulated
+// processor, and oversubscribing the host thrashes the workload handshake
+// channels), preserving result order. Every failure is reported, each
+// wrapped with the item that produced it.
+func parallelMap[T any](workers int, items []string, f func(string) (T, error)) ([]T, error) {
+	if workers < 1 {
+		workers = 1
+	}
 	out := make([]T, len(items))
 	errs := make([]error, len(items))
-	sem := make(chan struct{}, 2)
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	for i, it := range items {
 		wg.Add(1)
@@ -146,14 +175,16 @@ func parallelMap[T any](items []string, f func(string) (T, error)) ([]T, error) 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i], errs[i] = f(it)
+			var err error
+			out[i], err = f(it)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", it, err)
+			}
 		}(i, it)
 	}
 	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -17,7 +17,14 @@ type appRow struct {
 // runSuite runs the listed applications on both machines at the given cache
 // size. procs 0 means the paper's default (16, or 8 for the OS workload).
 func runSuite(o Options, names []string, cacheBytes, procs int) ([]appRow, error) {
-	return parallelMap(names, func(name string) (appRow, error) {
+	sizing := procs
+	if sizing == 0 {
+		sizing = 16
+	}
+	if o.Procs > 0 {
+		sizing = o.Procs
+	}
+	return parallelMap(o.workers(sizing), names, func(name string) (appRow, error) {
 		np := procs
 		if np == 0 {
 			np = 16
@@ -221,7 +228,7 @@ func Sec45(o Options) (string, error) {
 	var b strings.Builder
 	b.WriteString("Section 4.5: 64-processor runs at 16-processor problem sizes\n")
 	rows := [][]string{}
-	res, err := parallelMap(names, func(name string) (appRow, error) {
+	res, err := parallelMap(o.workers(64), names, func(name string) (appRow, error) {
 		cfg := baseConfig(64)
 		cfg.MemBytesPerNode = 2 << 20 // keep the 64-node footprint sane
 		f, i, err := Pair(name, cfg, o.paramsFor(name, 64), o.Verify)

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/arch"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digest.json from the current tree")
+
+// goldenDigest is one application's determinism fingerprint: the parallel
+// execution time and the total number of simulation events dispatched. Any
+// change to simulated behavior — event ordering, reference timing, protocol
+// scheduling — moves at least one of the two.
+type goldenDigest struct {
+	Elapsed  uint64 `json:"elapsed_cycles"`
+	Executed uint64 `json:"events_executed"`
+}
+
+// goldenConfig is the fixed small machine the digests are recorded on: 4
+// FLASH nodes, default caches, problem sizes matching the apps package's
+// determinism suite (small enough to keep the whole sweep to seconds).
+func goldenConfig() arch.Config {
+	cfg := arch.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.MemBytesPerNode = 4 << 20
+	return cfg
+}
+
+var goldenScales = map[string]int{
+	"fft": 256, "lu": 8, "radix": 64, "ocean": 8,
+	"barnes": 32, "mp3d": 50, "os": 16,
+}
+
+// TestGoldenDigest locks down per-run cycle counts and event counts against
+// values recorded from the pre-optimization tree. Performance work on the
+// event queue, the handshake path, or experiment parallelism must leave
+// these bit-identical; regenerate with -update-golden only for intentional
+// model changes.
+func TestGoldenDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join("testdata", "golden_digest.json")
+	got := map[string]goldenDigest{}
+	for _, name := range apps.Names {
+		cfg := goldenConfig()
+		if name == "os" {
+			cfg.Placement = arch.PlaceRoundRobin
+		}
+		r, err := RunApp(name, cfg, apps.Params{Scale: goldenScales[name]}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = goldenDigest{
+			Elapsed:  uint64(r.Report.Elapsed),
+			Executed: r.Machine.Eng.Executed,
+		}
+	}
+
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden digests (run with -update-golden to record): %v", err)
+	}
+	want := map[string]goldenDigest{}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range apps.Names {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden digest recorded", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: digest %+v, want %+v (simulated behavior changed)", name, got[name], w)
+		}
+	}
+}

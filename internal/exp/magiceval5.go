@@ -23,7 +23,7 @@ func Table51(o Options, cacheBytes int) (string, error) {
 		app               string
 		useless, slowdown float64
 	}
-	rows, err := parallelMap(names, func(name string) (row, error) {
+	rows, err := parallelMap(o.workers(16), names, func(name string) (row, error) {
 		np := 16
 		if name == "os" {
 			np = 8
@@ -217,7 +217,7 @@ func Sec53(o Options) (string, error) {
 		app      string
 		slowdown float64
 	}
-	rows, err := parallelMap(names, func(name string) (row, error) {
+	rows, err := parallelMap(o.workers(16), names, func(name string) (row, error) {
 		cfg := baseConfig(16)
 		p := o.paramsFor(name, 16)
 		opt, err := RunApp(name, cfg, p, o.Verify)
@@ -262,7 +262,7 @@ func ProtoCompare(o Options) (string, error) {
 		dynOcc, bvOcc     float64
 		dynPairs, bvPairs float64
 	}
-	rows, err := parallelMap(names, func(name string) (row, error) {
+	rows, err := parallelMap(o.workers(16), names, func(name string) (row, error) {
 		cfg := baseConfig(16)
 		p := o.paramsFor(name, 16)
 		dyn, err := RunApp(name, cfg, p, o.Verify)

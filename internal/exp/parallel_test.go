@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWorkersSizing(t *testing.T) {
+	// Explicit override wins.
+	if got := (Options{Parallelism: 7}).workers(16); got != 7 {
+		t.Fatalf("override workers = %d, want 7", got)
+	}
+	// Adaptive: GOMAXPROCS/simProcs, floored at 2.
+	host := runtime.GOMAXPROCS(0)
+	want := host / 16
+	if want < 2 {
+		want = 2
+	}
+	if got := (Options{}).workers(16); got != want {
+		t.Fatalf("adaptive workers(16) = %d, want %d (GOMAXPROCS %d)", got, want, host)
+	}
+	if got := (Options{}).workers(0); got < 2 {
+		t.Fatalf("workers(0) = %d, want >= 2", got)
+	}
+}
+
+func TestParallelMapOrderAndErrors(t *testing.T) {
+	items := []string{"a", "b", "c", "d"}
+	out, err := parallelMap(3, items, func(s string) (string, error) {
+		return strings.ToUpper(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range items {
+		if out[i] != strings.ToUpper(s) {
+			t.Fatalf("out = %v, not in item order", out)
+		}
+	}
+
+	// Every failure is reported, wrapped with its item name.
+	sentinelB := errors.New("boom-b")
+	sentinelD := errors.New("boom-d")
+	_, err = parallelMap(2, items, func(s string) (string, error) {
+		switch s {
+		case "b":
+			return "", sentinelB
+		case "d":
+			return "", sentinelD
+		}
+		return s, nil
+	})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	if !errors.Is(err, sentinelB) || !errors.Is(err, sentinelD) {
+		t.Fatalf("joined error lost a failure: %v", err)
+	}
+	for _, want := range []string{"b: boom-b", "d: boom-d"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name the failing item %q", err, want)
+		}
+	}
+}
+
+func TestParallelMapBoundsConcurrency(t *testing.T) {
+	items := make([]string, 32)
+	for i := range items {
+		items[i] = fmt.Sprint(i)
+	}
+	var mu sync.Mutex
+	active, peak := 0, 0
+	_, err := parallelMap(3, items, func(s string) (string, error) {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		time.Sleep(time.Millisecond)
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return s, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds worker bound 3", peak)
+	}
+	if peak < 1 {
+		t.Fatalf("nothing ran")
+	}
+}

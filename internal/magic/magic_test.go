@@ -16,13 +16,13 @@ type script struct {
 	i    int
 }
 
-func (s *script) Next() (cpu.Ref, bool) {
+func (s *script) NextBatch() ([]cpu.Ref, bool) {
 	if s.i >= len(s.refs) {
-		return cpu.Ref{}, false
+		return nil, false
 	}
-	r := s.refs[s.i]
+	b := s.refs[s.i : s.i+1]
 	s.i++
-	return r, true
+	return b, true
 }
 func (s *script) ReadDone() {}
 

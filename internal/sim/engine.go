@@ -5,12 +5,16 @@
 //
 // All times are expressed in 10 ns system clock cycles (the 100 MHz MAGIC
 // clock of the paper).
+//
+// The event queue is a monomorphic binary min-heap over []event — no
+// container/heap, no interface boxing, no per-event allocations — plus a
+// same-cycle FIFO: events scheduled for the current cycle bypass the heap
+// entirely and run in insertion order after any heap events already queued
+// for that cycle (which, having been scheduled earlier, precede them in the
+// global (cycle, insertion) order).
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycle is a point in simulated time, in 10 ns system clock cycles.
 type Cycle uint64
@@ -22,31 +26,14 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
 	now     Cycle
 	seq     uint64
-	events  eventHeap
+	heap    []event  // future events, min-ordered by (at, seq)
+	fifo    []func() // events scheduled for the current cycle, in order
+	fifoPos int      // next undispatched fifo entry
 	stopped bool
 
 	// Executed counts events dispatched since construction; useful as a
@@ -69,13 +56,18 @@ func NewEngine() *Engine {
 func (e *Engine) Now() Cycle { return e.now }
 
 // At schedules fn to run at absolute cycle t. Scheduling in the past (t <
-// Now) panics: it always indicates a model bug.
+// Now) panics: it always indicates a model bug. Scheduling at exactly Now
+// takes the FIFO fast path: no heap sift, no seq assignment.
 func (e *Engine) At(t Cycle, fn func()) {
-	if t < e.now {
+	if t <= e.now {
+		if t == e.now {
+			e.fifo = append(e.fifo, fn)
+			return
+		}
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d cycles from now.
@@ -88,22 +80,102 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Run dispatches events until the queue drains, Stop is called, or the cycle
-// limit is exceeded.
+// limit is exceeded. The limit is checked only when the clock advances (and
+// once on entry, for engines already past it): an event at exactly Limit
+// still runs; the first advance beyond it aborts.
 func (e *Engine) Run() error {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
-		if ev.at > e.now {
-			e.now = ev.at
+	if e.Limit != 0 && e.now > e.Limit {
+		return ErrLimit
+	}
+	for !e.stopped {
+		// Heap events at the current cycle were scheduled before any fifo
+		// entry for it, so they dispatch first.
+		if len(e.heap) > 0 && e.heap[0].at == e.now {
+			fn := e.pop()
+			e.Executed++
+			fn()
+			continue
 		}
+		if e.fifoPos < len(e.fifo) {
+			fn := e.fifo[e.fifoPos]
+			e.fifo[e.fifoPos] = nil
+			e.fifoPos++
+			if e.fifoPos >= 1024 && e.fifoPos*2 >= len(e.fifo) {
+				// Compact so a chain of events that keeps scheduling at the
+				// current cycle reuses the buffer instead of growing it.
+				n := copy(e.fifo, e.fifo[e.fifoPos:])
+				clear(e.fifo[n:])
+				e.fifo = e.fifo[:n]
+				e.fifoPos = 0
+			}
+			e.Executed++
+			fn()
+			continue
+		}
+		// Current cycle drained: recycle the fifo buffer and advance.
+		e.fifo = e.fifo[:0]
+		e.fifoPos = 0
+		if len(e.heap) == 0 {
+			return nil
+		}
+		e.now = e.heap[0].at
 		if e.Limit != 0 && e.now > e.Limit {
 			return ErrLimit
 		}
-		e.Executed++
-		ev.fn()
 	}
 	return nil
 }
 
 // Pending reports the number of undispatched events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoPos }
+
+// --- inlined min-heap over []event, ordered by (at, seq) ---
+
+func (e *Engine) push(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at < ev.at || (h[p].at == ev.at && h[p].seq < ev.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+	e.heap = h
+}
+
+func (e *Engine) pop() func() {
+	h := e.heap
+	fn := h[0].fn
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release the closure
+	h = h[:n]
+	e.heap = h
+	if n > 0 {
+		// Sift the former tail down from the root.
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= n {
+				break
+			}
+			c := l
+			if r := l + 1; r < n {
+				if h[r].at < h[l].at || (h[r].at == h[l].at && h[r].seq < h[l].seq) {
+					c = r
+				}
+			}
+			if last.at < h[c].at || (last.at == h[c].at && last.seq < h[c].seq) {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	return fn
+}

@@ -1,0 +1,98 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule is the steady-state schedule+dispatch path: one
+// event chain rescheduling itself at a future cycle, exercising heap push
+// and pop. It must report 0 allocs/op — the event queue is monomorphic and
+// the closure is allocated once, outside the timed region.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(3, tick)
+		}
+	}
+	e.At(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineSameCycle measures the same-cycle FIFO fast path: every
+// event schedules its successor for the current cycle, so nothing touches
+// the heap after the first event. Also 0 allocs/op in steady state.
+func BenchmarkEngineSameCycle(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.At(e.Now(), tick)
+		}
+	}
+	// Prime the run and grow the FIFO ring before the timed region.
+	e.At(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineBurst mixes the two paths the way the machine does: each
+// clock advance dispatches a burst of same-cycle events plus one heap event
+// carrying the chain forward.
+func BenchmarkEngineBurst(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var burst func()
+	var tick func()
+	burst = func() { n++ }
+	tick = func() {
+		n++
+		for i := 0; i < 7 && n < b.N; i++ {
+			e.At(e.Now(), burst)
+		}
+		if n < b.N {
+			e.After(5, tick)
+		}
+	}
+	e.At(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineHeapDepth keeps many future events queued so sift depth is
+// realistic (the machine holds one or more events per node).
+func BenchmarkEngineHeapDepth(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(Cycle(1+n%64), tick)
+		}
+	}
+	// A standing population of long-lived events.
+	idle := func() {}
+	for i := 0; i < 128; i++ {
+		e.At(Cycle(1_000_000_000+i), idle)
+	}
+	e.At(1, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -92,6 +92,73 @@ func TestLimit(t *testing.T) {
 	}
 }
 
+// The limit boundary: an event at exactly Limit runs; the first clock
+// advance past Limit aborts before dispatching anything.
+func TestLimitBoundary(t *testing.T) {
+	e := NewEngine()
+	e.Limit = 50
+	ran := 0
+	e.At(50, func() { ran++ })
+	if err := e.Run(); err != nil {
+		t.Fatalf("event at now == Limit errored: %v", err)
+	}
+	if ran != 1 || e.Now() != 50 {
+		t.Fatalf("ran = %d at %d, want 1 at 50", ran, e.Now())
+	}
+	e.At(51, func() { ran++ })
+	if err := e.Run(); err != ErrLimit {
+		t.Fatalf("err = %v, want ErrLimit at Limit+1", err)
+	}
+	if ran != 1 {
+		t.Fatalf("event past the limit dispatched (ran = %d)", ran)
+	}
+}
+
+// An engine whose clock is already past Limit errors even with an empty
+// queue (previously the check only ran after popping an event).
+func TestLimitAlreadyPast(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Limit = 5
+	if err := e.Run(); err != ErrLimit {
+		t.Fatalf("err = %v, want ErrLimit with empty queue past limit", err)
+	}
+}
+
+// Same-cycle ordering across the two queues: events scheduled for a future
+// cycle (heap) run before events scheduled at that cycle once it is current
+// (FIFO fast path), and nested same-cycle scheduling stays FIFO.
+func TestSameCycleHeapBeforeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(5, func() {
+		got = append(got, 1)
+		e.At(5, func() {
+			got = append(got, 3)
+			e.At(5, func() { got = append(got, 4) })
+		})
+	})
+	e.At(5, func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Executed != 4 {
+		t.Fatalf("Executed = %d, want 4", e.Executed)
+	}
+}
+
 // Property: events always dispatch in nondecreasing time order, regardless of
 // insertion order.
 func TestMonotonicDispatch(t *testing.T) {
@@ -152,17 +219,5 @@ func TestSameCycleFIFO(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestOccupancyMeter(t *testing.T) {
-	var m OccupancyMeter
-	m.AddBusy(25)
-	m.AddBusy(25)
-	if got := m.Fraction(100); got != 0.5 {
-		t.Fatalf("Fraction = %v, want 0.5", got)
-	}
-	if got := m.Fraction(0); got != 0 {
-		t.Fatalf("Fraction(0) = %v, want 0", got)
 	}
 }

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOccupancyMeterAccumulates(t *testing.T) {
+	var m OccupancyMeter
+	if m.Busy != 0 {
+		t.Fatalf("zero value Busy = %d", m.Busy)
+	}
+	m.AddBusy(25)
+	m.AddBusy(25)
+	if m.Busy != 50 {
+		t.Fatalf("Busy = %d, want 50", m.Busy)
+	}
+	if got := m.Fraction(100); got != 0.5 {
+		t.Fatalf("Fraction(100) = %v, want 0.5", got)
+	}
+	m.AddBusy(0)
+	if m.Busy != 50 {
+		t.Fatalf("AddBusy(0) changed Busy to %d", m.Busy)
+	}
+}
+
+func TestOccupancyMeterEdges(t *testing.T) {
+	var m OccupancyMeter
+	if got := m.Fraction(100); got != 0 {
+		t.Fatalf("idle Fraction = %v, want 0", got)
+	}
+	m.AddBusy(10)
+	if got := m.Fraction(0); got != 0 {
+		t.Fatalf("Fraction(0) = %v, want 0 (no divide-by-zero)", got)
+	}
+	if got := m.Fraction(10); got != 1 {
+		t.Fatalf("saturated Fraction = %v, want 1", got)
+	}
+	// A resource busier than the measured window (overlapping reservations)
+	// reports > 1 rather than clamping — callers rely on it for detecting
+	// double-counted intervals.
+	if got := m.Fraction(5); got != 2 {
+		t.Fatalf("oversubscribed Fraction = %v, want 2", got)
+	}
+}
+
+// Property: Fraction is Busy/total for any split of busy intervals — the
+// meter is order- and granularity-independent.
+func TestOccupancyMeterSplitInvariance(t *testing.T) {
+	f := func(chunks []uint16, total uint32) bool {
+		var whole, split OccupancyMeter
+		var sum Cycle
+		for _, c := range chunks {
+			split.AddBusy(Cycle(c))
+			sum += Cycle(c)
+		}
+		whole.AddBusy(sum)
+		a, b := whole.Fraction(Cycle(total)), split.Fraction(Cycle(total))
+		return a == b && (total == 0 || !math.Signbit(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+)
+
+func benchWorld(b *testing.B, nodes int) *World {
+	b.Helper()
+	cfg := arch.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.MemBytesPerNode = 4 << 20
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewWorld(m)
+}
+
+// BenchmarkWriteBurst measures the batched-handshake fast path: a
+// write-heavy inner loop pays one workload⇄cpu channel crossing per
+// blocking read instead of one per reference.
+func BenchmarkWriteBurst(b *testing.B) {
+	w := benchWorld(b, 1)
+	base := w.AllocOnNode(64*8, 0)
+	b.ResetTimer()
+	err := w.Run(func(c *Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.WriteU(base+arch.Addr(i%64)*8, uint64(i))
+		}
+		c.ReadU(base) // drain the final batch
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReadRoundTrip measures the blocking path: every reference is a
+// read, so every reference flushes a one-element batch and waits for the
+// simulated machine — the handshake-dominated worst case.
+func BenchmarkReadRoundTrip(b *testing.B) {
+	w := benchWorld(b, 1)
+	base := w.AllocOnNode(8, 0)
+	b.ResetTimer()
+	err := w.Run(func(c *Ctx) {
+		for i := 0; i < b.N; i++ {
+			c.ReadU(base)
+		}
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMixedRefs interleaves writes and reads 7:1, the shape of a
+// store-dominated application inner loop.
+func BenchmarkMixedRefs(b *testing.B) {
+	w := benchWorld(b, 1)
+	base := w.AllocOnNode(64*8, 0)
+	b.ResetTimer()
+	err := w.Run(func(c *Ctx) {
+		for i := 0; i < b.N; i++ {
+			a := base + arch.Addr(i%64)*8
+			if i%8 == 7 {
+				c.ReadU(a)
+			} else {
+				c.WriteU(a, uint64(i))
+			}
+		}
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+)
+
+// Ctx.Rand must be a pure function of the thread ID and call count —
+// independent of Go goroutine scheduling — or runs stop being reproducible.
+// Each thread hashes a long Rand stream while contending on a shared lock
+// (real coherence traffic perturbs goroutine interleavings), and both the
+// per-thread hashes and the simulated clock must be identical across runs.
+func TestCtxRandDeterminism(t *testing.T) {
+	const nodes = 4
+	run := func() ([nodes]uint64, uint64) {
+		w := newTestWorld(t, nodes, arch.PlaceRoundRobin)
+		lock := w.NewLock(0)
+		out := w.AllocOnNode(nodes*8, 0)
+		err := w.Run(func(c *Ctx) {
+			var h uint64
+			for i := 0; i < 2000; i++ {
+				h = h*1099511628211 + c.Rand()
+				if i%64 == 0 {
+					lock.Acquire(c)
+					c.WriteU(out+arch.Addr(c.ID)*8, h)
+					lock.Release(c)
+				}
+			}
+			lock.Acquire(c)
+			c.WriteU(out+arch.Addr(c.ID)*8, h)
+			lock.Release(c)
+		}, 100_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hs [nodes]uint64
+		for i := range hs {
+			hs[i] = *w.M.Word(out + arch.Addr(i)*8)
+		}
+		return hs, uint64(w.M.Elapsed)
+	}
+
+	h1, e1 := run()
+	h2, e2 := run()
+	if h1 != h2 {
+		t.Fatalf("Rand streams differ across runs: %v vs %v", h1, h2)
+	}
+	if e1 != e2 {
+		t.Fatalf("elapsed differs across runs: %d vs %d", e1, e2)
+	}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			if h1[i] == h1[j] {
+				t.Fatalf("threads %d and %d produced identical Rand streams", i, j)
+			}
+		}
+	}
+}
+
+// The raw generator must also be stateless with respect to the World: a
+// fresh Ctx with the same ID yields the same sequence.
+func TestCtxRandPerThreadSeed(t *testing.T) {
+	seq := func(id int, n int) []uint64 {
+		c := &Ctx{ID: id, prng: uint64(id)*0x9E3779B97F4A7C15 + 0x1234567}
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = c.Rand()
+		}
+		return out
+	}
+	a, b := seq(3, 16), seq(3, 16)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence for one ID not reproducible at %d", i)
+		}
+	}
+	c := seq(4, 16)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different IDs produced identical sequences")
+	}
+}

@@ -193,28 +193,54 @@ type Ctx struct {
 	W  *World
 	ID int
 
-	refs   chan cpu.Ref
+	refs   chan []cpu.Ref
 	done   chan struct{}
+	batch  []cpu.Ref // references issued but not yet handed to the CPU
 	out    uint64
 	busy   uint32
 	senses map[*Barrier]uint64
 	prng   uint64
 }
 
+// maxBatch bounds how many non-blocking references a thread buffers before
+// flushing to its processor, so a long write-only loop neither grows memory
+// without bound nor starves the simulation goroutine's batch refill.
+const maxBatch = 256
+
 // Busy charges n processor instructions of compute time before the next
 // reference (4 instructions per system cycle).
 func (c *Ctx) Busy(n int) { c.busy += uint32(n) }
 
+// issue appends a non-blocking reference to the thread's pending batch.
+// The batch crosses the workload⇄cpu channel once, at the next blocking
+// reference (or at capacity/exit), instead of once per reference.
 func (c *Ctx) issue(r cpu.Ref) {
 	r.Busy = c.busy + 1 // every reference is at least one instruction
 	c.busy = 0
-	c.refs <- r
+	c.batch = append(c.batch, r)
+	if len(c.batch) >= maxBatch {
+		c.refs <- c.batch
+		// The CPU consumes the flushed slice lazily; start a fresh one.
+		c.batch = make([]cpu.Ref, 0, maxBatch)
+	}
+}
+
+// issueWait issues r and parks the thread until the simulated machine
+// completes it (reads and RMWs). The whole pending batch rides the same
+// channel crossing; once the done handshake fires the CPU has consumed
+// every element (r is last), so the slice is reused in place.
+func (c *Ctx) issueWait(r cpu.Ref) {
+	c.issue(r)
+	if len(c.batch) > 0 {
+		c.refs <- c.batch
+	}
+	<-c.done
+	c.batch = c.batch[:0]
 }
 
 // ReadU loads the 8-byte word at a.
 func (c *Ctx) ReadU(a arch.Addr) uint64 {
-	c.issue(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out})
-	<-c.done
+	c.issueWait(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out})
 	return c.out
 }
 
@@ -229,8 +255,7 @@ func (c *Ctx) WriteF(a arch.Addr, v float64) { c.WriteU(a, math.Float64bits(v)) 
 
 // readSync is a spin-loop read, attributed to synchronization time.
 func (c *Ctx) readSync(a arch.Addr) uint64 {
-	c.issue(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out, Sync: true})
-	<-c.done
+	c.issueWait(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out, Sync: true})
 	return c.out
 }
 
@@ -240,24 +265,21 @@ func (c *Ctx) writeSync(a arch.Addr, v uint64) {
 
 // Swap atomically exchanges v into a, returning the old value.
 func (c *Ctx) Swap(a arch.Addr, v uint64) uint64 {
-	c.issue(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWSwap, Addr: a, WVal: v, Out: &c.out, Sync: true})
-	<-c.done
+	c.issueWait(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWSwap, Addr: a, WVal: v, Out: &c.out, Sync: true})
 	return c.out
 }
 
 // FetchAdd atomically adds v to a, returning the old value. It is part of
 // the synchronization library (stall time charged to Sync).
 func (c *Ctx) FetchAdd(a arch.Addr, v uint64) uint64 {
-	c.issue(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWAdd, Addr: a, WVal: v, Out: &c.out, Sync: true})
-	<-c.done
+	c.issueWait(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWAdd, Addr: a, WVal: v, Out: &c.out, Sync: true})
 	return c.out
 }
 
 // FetchAddData is an atomic add on application data (stall time charged as
 // an ordinary write): the shared-counter updates of codes like MP3D.
 func (c *Ctx) FetchAddData(a arch.Addr, v uint64) uint64 {
-	c.issue(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWAdd, Addr: a, WVal: v, Out: &c.out})
-	<-c.done
+	c.issueWait(cpu.Ref{Kind: arch.RefRMW, RMW: cpu.RMWAdd, Addr: a, WVal: v, Out: &c.out})
 	return c.out
 }
 
@@ -270,12 +292,13 @@ func (c *Ctx) Rand() uint64 {
 	return c.prng
 }
 
-// threadSource adapts a Ctx to cpu.RefSource.
+// threadSource adapts a Ctx to cpu.RefSource: each receive delivers one
+// flushed batch.
 type threadSource struct{ c *Ctx }
 
-func (s threadSource) Next() (cpu.Ref, bool) {
-	r, ok := <-s.c.refs
-	return r, ok
+func (s threadSource) NextBatch() ([]cpu.Ref, bool) {
+	b, ok := <-s.c.refs
+	return b, ok
 }
 
 func (s threadSource) ReadDone() { s.c.done <- struct{}{} }
@@ -288,7 +311,7 @@ func (w *World) Run(fn func(*Ctx), limit uint64) error {
 	for i := 0; i < n; i++ {
 		c := &Ctx{
 			W: w, ID: i,
-			refs:   make(chan cpu.Ref),
+			refs:   make(chan []cpu.Ref),
 			done:   make(chan struct{}),
 			senses: make(map[*Barrier]uint64),
 			prng:   uint64(i)*0x9E3779B97F4A7C15 + 0x1234567,
@@ -297,7 +320,14 @@ func (w *World) Run(fn func(*Ctx), limit uint64) error {
 		w.wg.Add(1)
 		go func(c *Ctx) {
 			defer w.wg.Done()
-			defer close(c.refs)
+			defer func() {
+				// Trailing non-blocking references still ride to the CPU
+				// before the stream ends.
+				if len(c.batch) > 0 {
+					c.refs <- c.batch
+				}
+				close(c.refs)
+			}()
 			fn(c)
 		}(c)
 	}
