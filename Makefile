@@ -7,9 +7,10 @@ all: build
 build:
 	$(GO) build ./...
 
-# Tier-1 verify line (keep in sync with ROADMAP.md).
+# Tier-1 verify line (keep in sync with ROADMAP.md), plus a race-detector
+# pass over the concurrent experiment driver.
 verify:
-	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
 
 test:
 	$(GO) test ./...

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 	procs := flag.Int("procs", 0, "override processor count (0 = paper defaults)")
 	noverify := flag.Bool("noverify", false, "skip result verification after runs")
 	parallel := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = adaptive from GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit experiment results as a JSON array on stdout")
 	flag.Parse()
 
 	o := exp.Options{Scale: *scale, Verify: !*noverify, Parallelism: *parallel}
@@ -83,6 +85,12 @@ func main() {
 		}
 	}
 
+	type result struct {
+		Name        string  `json:"name"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Output      string  `json:"output"`
+	}
+	var results []result
 	for _, e := range selected {
 		start := time.Now()
 		out, err := e.run()
@@ -90,6 +98,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flashexp: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), out)
+		wall := time.Since(start).Seconds()
+		if *jsonOut {
+			results = append(results, result{Name: e.name, WallSeconds: wall, Output: out})
+			fmt.Fprintf(os.Stderr, "flashexp: %s done (%.1fs)\n", e.name, wall)
+			continue
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, wall, out)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp: json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

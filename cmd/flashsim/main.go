@@ -5,6 +5,12 @@
 //
 //	flashsim [-machine flash|ideal] [-app fft] [-procs 16] [-cache 1048576]
 //	         [-scale 4] [-placement rr|ft|node0] [-nospec] [-ppmode dual|single|dlx]
+//	         [-json] [-trace out.jsonl] [-trace-format jsonl|chrome] [-occ-window N]
+//
+// -json prints the statistics report as JSON on stdout (progress goes to
+// stderr). -trace streams every simulation event to the named file, either as
+// JSON Lines (one event per line) or, with -trace-format chrome, as a Chrome
+// trace-event file loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 package main
 
 import (
@@ -16,7 +22,9 @@ import (
 	"flashsim/internal/apps"
 	"flashsim/internal/arch"
 	"flashsim/internal/core"
+	"flashsim/internal/sim"
 	"flashsim/internal/stats"
+	"flashsim/internal/trace"
 	"flashsim/internal/workload"
 )
 
@@ -31,6 +39,10 @@ func main() {
 	ppmode := flag.String("ppmode", "dual", "PP mode: dual, single, dlx")
 	proto := flag.String("protocol", "dynptr", "coherence protocol: dynptr, bitvec")
 	membytes := flag.Int("membytes", 8<<20, "memory bytes per node")
+	jsonOut := flag.Bool("json", false, "emit the statistics report as JSON on stdout")
+	traceFile := flag.String("trace", "", "write a simulation event trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome")
+	occWindow := flag.Uint64("occ-window", 0, "sample memory/PP occupancy per window of N cycles (0 = off)")
 	flag.Parse()
 
 	cfg := arch.DefaultConfig()
@@ -79,6 +91,29 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		var sink trace.Sink
+		switch *traceFormat {
+		case "jsonl":
+			sink = trace.NewJSONLSink(f)
+		case "chrome":
+			sink = trace.NewChromeSink(f)
+		default:
+			fatal("unknown trace format %q", *traceFormat)
+		}
+		tr := trace.New(sink)
+		defer func() {
+			if err := tr.Close(); err != nil {
+				fatal("trace: %v", err)
+			}
+		}()
+		m.SetTracer(tr)
+	}
+	m.EnableOccSampling(sim.Cycle(*occWindow))
 	w := workload.NewWorld(m)
 	a, err := apps.Build(*app, w, apps.Params{Procs: *procs, Scale: *scale})
 	if err != nil {
@@ -94,9 +129,20 @@ func main() {
 	if err := m.CheckCoherence(); err != nil {
 		fatal("coherence: %v", err)
 	}
+	r := stats.Collect(m)
+	if *jsonOut {
+		fmt.Fprintf(os.Stderr, "%s on %s (scale 1/%d): verified OK, wall %.1fs\n",
+			*app, *machine, *scale, time.Since(start).Seconds())
+		out, err := r.JSON()
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		os.Stdout.Write(append(out, '\n'))
+		return
+	}
 	fmt.Printf("%s on %s (scale 1/%d): verified OK, wall %.1fs\n\n",
 		*app, *machine, *scale, time.Since(start).Seconds())
-	fmt.Print(stats.Collect(m))
+	fmt.Print(r)
 }
 
 func fatal(format string, args ...interface{}) {

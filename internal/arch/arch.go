@@ -197,6 +197,11 @@ type Msg struct {
 	Req  NodeID // original requester (for forwarded messages)
 	Aux  uint32 // type-specific: invalidation count for PUTX, etc.
 	DB   int16  // data buffer index inside a node; -1 if none
+
+	// TID is the observability layer's causal trace id: the id of the trace
+	// event that produced this message (0 when tracing is off). It is
+	// carried, never interpreted — simulated behavior must not depend on it.
+	TID uint64
 }
 
 // RefKind is the kind of memory reference a processor issues.

@@ -46,6 +46,29 @@ func (k MachineKind) String() string {
 	return "ideal"
 }
 
+// MarshalJSON renders the kind as its name so machine-readable reports stay
+// stable if the constant values are ever reordered.
+func (k MachineKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts a kind name (or a legacy numeric value).
+func (k *MachineKind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"FLASH"`:
+		*k = KindFLASH
+	case `"ideal"`:
+		*k = KindIdeal
+	default:
+		var v uint8
+		if _, err := fmt.Sscanf(string(b), "%d", &v); err != nil {
+			return fmt.Errorf("arch: unknown machine kind %s", b)
+		}
+		*k = MachineKind(v)
+	}
+	return nil
+}
+
 // PPMode selects how the protocol handlers are scheduled/compiled, for the
 // Section 5.3 ablations.
 type PPMode uint8

@@ -16,6 +16,7 @@ import (
 	"flashsim/internal/network"
 	"flashsim/internal/protocol"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // Controller is the node-controller abstraction shared by MAGIC and the
@@ -51,7 +52,50 @@ type Machine struct {
 	// processor retired its final reference.
 	Elapsed sim.Cycle
 
+	// Tracer is the machine's event tracer (nil = off); set via SetTracer.
+	Tracer *trace.Tracer
+	// OccWindow is the occupancy sampling window in cycles (0 = off); set
+	// via EnableOccSampling.
+	OccWindow sim.Cycle
+
 	running int
+}
+
+// SetTracer attaches tr to every component of the machine — processors,
+// controllers, memories, and the interconnect — replacing any previous
+// tracer (nil detaches). Call before Run. The tracer is per machine and is
+// used only from the machine's simulation goroutine, so concurrent machines
+// (exp.parallelMap) each carry their own without synchronization.
+func (m *Machine) SetTracer(tr *trace.Tracer) {
+	m.Tracer = tr
+	m.Net.Tr = tr
+	for _, n := range m.Nodes {
+		n.CPU.Tr = tr
+		n.Mem.SetTracer(tr, n.CPU.ID)
+		if n.Magic != nil {
+			n.Magic.Tr = tr
+		}
+		if n.Ideal != nil {
+			n.Ideal.Tr = tr
+		}
+	}
+}
+
+// EnableOccSampling turns on windowed occupancy sampling: every memory
+// controller (and, on FLASH, every protocol processor) accumulates busy
+// cycles per window of w cycles, surfaced by stats.Collect as
+// occupancy-over-time curves. Call before Run.
+func (m *Machine) EnableOccSampling(w sim.Cycle) {
+	if w == 0 {
+		return
+	}
+	m.OccWindow = w
+	for _, n := range m.Nodes {
+		n.Mem.EnableSampling(uint64(w))
+		if n.Magic != nil {
+			n.Magic.PPSeries = trace.NewTimeSeries(uint64(w))
+		}
+	}
 }
 
 // New builds a machine. The configuration's network transit latency is

@@ -5,11 +5,8 @@ import (
 
 	"flashsim/internal/arch"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
-
-// Trace, when non-nil, receives a line for notable cache events
-// (debugging aid; nil in normal runs).
-var Trace func(format string, args ...interface{})
 
 // RMWOp selects the atomic operation of a RefRMW reference.
 type RMWOp uint8
@@ -74,6 +71,12 @@ type Stats struct {
 	Naks                      uint64
 	Writebacks, Hints         uint64
 
+	// ReadLat histograms read-miss latency per miss class, from the cycle
+	// the reference reached the cache to the first data word on the bus —
+	// the measured counterpart of the paper's contentionless Table 3.3
+	// latencies. Always on: recording is a few integer ops per miss.
+	ReadLat [arch.NumMissClasses]trace.Histogram
+
 	FinishedAt sim.Cycle
 	Finished   bool
 }
@@ -113,6 +116,9 @@ type mshrEntry struct {
 	// exponentially with a node-dependent jitter so that deterministic
 	// retry convoys on contended lines dissolve instead of livelocking.
 	retries int
+
+	issuedAt sim.Cycle // virtual time the triggering reference missed
+	tid      uint64    // trace id of the miss-issue event (0 = untraced)
 }
 
 // CPU is one node's compute processor.
@@ -121,6 +127,10 @@ type CPU struct {
 	Cache *Cache
 	Bus   sim.Server
 	Stats Stats
+
+	// Tr, when non-nil, receives structured cache/miss events. Injected per
+	// machine (core.Machine.SetTracer); nil costs one branch per site.
+	Tr *trace.Tracer
 
 	eng   *sim.Engine
 	t     arch.Timing
@@ -303,7 +313,7 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 	// Allocate and issue.
 	e := c.allocMSHR()
 	ent := &c.mshrs[e]
-	*ent = mshrEntry{valid: true, line: line, ref: *ref, hasRef: true}
+	*ent = mshrEntry{valid: true, line: line, ref: *ref, hasRef: true, issuedAt: vt}
 	ent.kind = arch.MsgGETX
 	if ref.Kind == arch.RefRead {
 		ent.kind = arch.MsgGET
@@ -337,6 +347,16 @@ func (c *CPU) issue(e int, vt sim.Cycle) {
 	req := vt + sim.Cycle(c.t.MissDetect)
 	start, end := c.Bus.Reserve(req, sim.Cycle(c.t.BusTransit))
 	c.Stats.ContStall += start - req
+	if c.Tr.Active() {
+		if ent.tid == 0 {
+			ent.tid = c.Tr.NewID()
+		}
+		c.Tr.Emit(trace.Event{
+			Cycle: uint64(req), Node: int32(c.ID), Kind: trace.KindMissIssue,
+			Addr: ent.line << arch.LineShift, ID: ent.tid,
+			Arg: uint64(ent.retries), Name: ent.kind.String(),
+		})
+	}
 	m := arch.Msg{
 		Type: ent.kind,
 		Addr: arch.Addr(ent.line << arch.LineShift),
@@ -344,6 +364,7 @@ func (c *CPU) issue(e int, vt sim.Cycle) {
 		Req:  c.ID,
 		Dst:  c.ID,
 		DB:   -1,
+		TID:  ent.tid,
 	}
 	c.ctl.FromProc(m, end)
 }
@@ -363,6 +384,12 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 
 	if m.Type == arch.MsgNAK {
 		c.Stats.Naks++
+		if c.Tr.Active() {
+			c.Tr.Emit(trace.Event{
+				Cycle: uint64(at), Node: int32(c.ID), Kind: trace.KindNak,
+				Addr: line << arch.LineShift, ID: ent.tid, Parent: m.TID,
+			})
+		}
 		// Retry after an exponential, node-jittered backoff; the entry
 		// stays allocated.
 		sh := ent.retries
@@ -389,16 +416,37 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 		if evicted {
 			c.evict(victim, vstate, fillAt)
 		}
-		if Trace != nil {
-			Trace("%8d node%d fill line=%#x %v", fillAt, c.ID, line, newState)
+		if c.Tr.Active() {
+			c.Tr.Emit(trace.Event{
+				Cycle: uint64(fillAt), Node: int32(c.ID), Kind: trace.KindFill,
+				Addr: line << arch.LineShift, ID: ent.tid, Parent: m.TID,
+				Arg: uint64(newState), Name: newState.String(),
+			})
 		}
-	} else if Trace != nil {
-		Trace("%8d node%d fill-skip (invalOnFill) line=%#x", fillAt, c.ID, line)
+	} else if c.Tr.Active() {
+		c.Tr.Emit(trace.Event{
+			Cycle: uint64(fillAt), Node: int32(c.ID), Kind: trace.KindFill,
+			Addr: line << arch.LineShift, ID: ent.tid, Parent: m.TID,
+			Name: "inval-on-fill",
+		})
 	}
 
-	// Classify read misses per Table 4.1.
+	// Classify read misses per Table 4.1 and histogram the latency.
 	if ent.hasRef && ent.ref.Kind == arch.RefRead {
-		c.Stats.MissClass[c.classify(m)]++
+		class := c.classify(m)
+		c.Stats.MissClass[class]++
+		lat := fillAt - ent.issuedAt
+		if fillAt < ent.issuedAt {
+			lat = 0
+		}
+		c.Stats.ReadLat[class].Observe(uint64(lat))
+	}
+	if c.Tr.Active() {
+		c.Tr.Emit(trace.Event{
+			Cycle: uint64(fillAt), Node: int32(c.ID), Kind: trace.KindMissDone,
+			Addr: line << arch.LineShift, ID: ent.tid, Parent: m.TID,
+			Name: m.Type.String(),
+		})
 	}
 
 	// Apply the triggering reference's data action and release its thread.
@@ -494,6 +542,12 @@ func (c *CPU) block(r blockReason, entry int, vt sim.Cycle) {
 // lines produce a replacement hint.
 func (c *CPU) evict(line uint64, st LineState, at sim.Cycle) {
 	addr := arch.Addr(line << arch.LineShift)
+	if c.Tr.Active() {
+		c.Tr.Emit(trace.Event{
+			Cycle: uint64(at), Node: int32(c.ID), Kind: trace.KindEvict,
+			Addr: uint64(addr), Name: st.String(),
+		})
+	}
 	if st == Modified {
 		c.Stats.Writebacks++
 		_, end := c.Bus.Reserve(at, sim.Cycle(c.t.BusLineBusy))
@@ -501,9 +555,6 @@ func (c *CPU) evict(line uint64, st LineState, at sim.Cycle) {
 		return
 	}
 	c.Stats.Hints++
-	if Trace != nil {
-		Trace("%8d node%d hint line=%#x", at, c.ID, line)
-	}
 	_, end := c.Bus.Reserve(at, sim.Cycle(c.t.BusTransit))
 	c.ctl.FromProc(arch.Msg{Type: arch.MsgRPL, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}, end)
 }
@@ -521,8 +572,11 @@ func (c *CPU) Intervene(kind arch.MsgType, addr arch.Addr, at sim.Cycle, done fu
 		}
 	}
 	st := c.Cache.Lookup(line)
-	if Trace != nil {
-		Trace("%8d node%d intervene %v line=%#x st=%v", c.eng.Now(), c.ID, kind, line, st)
+	if c.Tr.Active() {
+		c.Tr.Emit(trace.Event{
+			Cycle: uint64(c.eng.Now()), Node: int32(c.ID), Kind: trace.KindIntervene,
+			Addr: uint64(addr), Arg: uint64(st), Name: kind.String(),
+		})
 	}
 	if kind == arch.MsgPIInval || st != Modified {
 		// State-only transaction: 15 cycles to probe/invalidate.

@@ -89,9 +89,20 @@ type Run struct {
 
 // RunApp executes one application on one configuration.
 func RunApp(name string, cfg arch.Config, p apps.Params, verify bool) (*Run, error) {
+	return RunAppObserved(name, cfg, p, verify, nil)
+}
+
+// RunAppObserved is RunApp with a hook called on the freshly built machine
+// before the run starts — the place to attach a tracer or enable occupancy
+// sampling (core.Machine.SetTracer, EnableOccSampling) without perturbing
+// the simulation itself.
+func RunAppObserved(name string, cfg arch.Config, p apps.Params, verify bool, observe func(*core.Machine)) (*Run, error) {
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if observe != nil {
+		observe(m)
 	}
 	w := workload.NewWorld(m)
 	app, err := apps.Build(name, w, p)

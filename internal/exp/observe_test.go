@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/trace"
+)
+
+// TestTracingDoesNotPerturbSimulation runs the same workload bare and with
+// the full observability stack attached — JSONL event tracer plus occupancy
+// sampling — and requires bit-identical execution time and event counts. The
+// trace layer must be strictly observational.
+func TestTracingDoesNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const name = "fft"
+	run := func(observe func(*core.Machine)) *Run {
+		cfg := goldenConfig()
+		r, err := RunAppObserved(name, cfg, apps.Params{Scale: goldenScales[name]}, true, observe)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return r
+	}
+
+	bare := run(nil)
+
+	var buf bytes.Buffer
+	var tr *trace.Tracer
+	traced := run(func(m *core.Machine) {
+		tr = trace.New(trace.NewJSONLSink(&buf))
+		m.SetTracer(tr)
+		m.EnableOccSampling(10000)
+	})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if bare.Report.Elapsed != traced.Report.Elapsed {
+		t.Errorf("elapsed changed under tracing: %d vs %d", bare.Report.Elapsed, traced.Report.Elapsed)
+	}
+	if bare.Machine.Eng.Executed != traced.Machine.Eng.Executed {
+		t.Errorf("events executed changed under tracing: %d vs %d",
+			bare.Machine.Eng.Executed, traced.Machine.Eng.Executed)
+	}
+
+	// The traced run must still match the recorded golden digest.
+	buf2, err := os.ReadFile(filepath.Join("testdata", "golden_digest.json"))
+	if err != nil {
+		t.Fatalf("missing golden digests: %v", err)
+	}
+	want := map[string]goldenDigest{}
+	if err := json.Unmarshal(buf2, &want); err != nil {
+		t.Fatal(err)
+	}
+	w, ok := want[name]
+	if !ok {
+		t.Fatalf("%s: no golden digest recorded", name)
+	}
+	got := goldenDigest{
+		Elapsed:  uint64(traced.Report.Elapsed),
+		Executed: traced.Machine.Eng.Executed,
+	}
+	if got != w {
+		t.Errorf("%s traced digest %+v, want %+v", name, got, w)
+	}
+
+	// And the trace itself must be substantial and well-formed.
+	evs, err := trace.ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("traced run produced no events")
+	}
+	kinds := map[trace.Kind]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	for _, k := range []trace.Kind{
+		trace.KindMsgSend, trace.KindMsgRecv, trace.KindHandler,
+		trace.KindMissIssue, trace.KindMissDone, trace.KindFill, trace.KindMemRead,
+	} {
+		if kinds[k] == 0 {
+			t.Errorf("trace has no %v events", k)
+		}
+	}
+	if kinds[trace.KindMsgSend] != kinds[trace.KindMsgRecv] {
+		t.Errorf("unbalanced message events: %d sends, %d recvs",
+			kinds[trace.KindMsgSend], kinds[trace.KindMsgRecv])
+	}
+
+	// Occupancy sampling must have produced curves consistent with the run.
+	if n := len(traced.Report.MemOccSeries); n == 0 {
+		t.Error("no memory occupancy series")
+	}
+	if n := len(traced.Report.PPOccSeries); n == 0 {
+		t.Error("no PP occupancy series")
+	}
+	if traced.Report.OccWindow != 10000 {
+		t.Errorf("OccWindow = %d, want 10000", traced.Report.OccWindow)
+	}
+	for i, v := range traced.Report.MemOccSeries {
+		if v < 0 || v > 1 {
+			t.Errorf("mem occupancy window %d out of range: %g", i, v)
+		}
+	}
+
+	// A Chrome-format trace of the same run must be valid and carry the same
+	// number of events (same simulation, different encoding).
+	var cbuf bytes.Buffer
+	var ctr *trace.Tracer
+	chromed := run(func(m *core.Machine) {
+		ctr = trace.New(trace.NewChromeSink(&cbuf))
+		m.SetTracer(ctr)
+	})
+	if err := ctr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if chromed.Report.Elapsed != bare.Report.Elapsed {
+		t.Errorf("elapsed changed under chrome tracing: %d vs %d",
+			chromed.Report.Elapsed, bare.Report.Elapsed)
+	}
+	ct, err := trace.ReadChrome(&cbuf)
+	if err != nil {
+		t.Fatalf("decoding chrome trace: %v", err)
+	}
+	if len(ct.TraceEvents) != len(evs) {
+		t.Errorf("chrome trace has %d events, jsonl had %d", len(ct.TraceEvents), len(evs))
+	}
+}

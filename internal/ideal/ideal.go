@@ -15,6 +15,7 @@ import (
 	"flashsim/internal/memsys"
 	"flashsim/internal/network"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // dirEntry is the oracle directory state for one line.
@@ -45,10 +46,6 @@ func (e *dirEntry) removeSharer(n arch.NodeID) {
 	}
 }
 
-// Trace, when non-nil, receives a line for every message handled and every
-// directory transition (debugging aid; nil in normal runs).
-var Trace func(format string, args ...interface{})
-
 // Stats counts ideal-controller activity.
 type Stats struct {
 	Handled uint64
@@ -67,8 +64,18 @@ type Controller struct {
 	CPU *cpu.CPU
 	Net *network.Network
 
+	// Tr, when non-nil, receives a handler event per message processed.
+	// Injected per machine (core.Machine.SetTracer), replacing the old
+	// race-prone package-global printf hook.
+	Tr *trace.Tracer
+
 	dir   map[uint64]*dirEntry
 	Stats Stats
+
+	// curTID is the trace id of the handler event currently executing, used
+	// to stamp outgoing messages. Best-effort for sends made from deferred
+	// intervention callbacks, which run after handle returns.
+	curTID uint64
 }
 
 // New builds an idealized controller; call Attach to wire the CPU.
@@ -129,6 +136,9 @@ func (c *Controller) FromNet(m arch.Msg) {
 
 // toNet injects a message; data-carrying messages wait for firstData.
 func (c *Controller) toNet(r sim.Cycle, m arch.Msg, firstData sim.Cycle) {
+	if m.TID == 0 {
+		m.TID = c.curTID
+	}
 	inject := r
 	if firstData > inject {
 		inject = firstData
@@ -139,6 +149,9 @@ func (c *Controller) toNet(r sim.Cycle, m arch.Msg, firstData sim.Cycle) {
 
 // toProc delivers a reply to the local processor.
 func (c *Controller) toProc(r sim.Cycle, m arch.Msg, firstData sim.Cycle) {
+	if m.TID == 0 {
+		m.TID = c.curTID
+	}
 	deliver := r
 	if firstData > deliver {
 		deliver = firstData
@@ -173,8 +186,14 @@ func (c *Controller) handle(m arch.Msg, viaNet bool) {
 	r := c.Eng.Now()
 	c.Stats.Handled++
 	isHome := c.Cfg.HomeOf(m.Addr) == c.ID
-	if Trace != nil {
-		Trace("%8d node%d handle %v addr=%#x src=%d req=%d viaNet=%v", r, c.ID, m.Type, m.Addr, m.Src, m.Req, viaNet)
+	c.curTID = 0
+	if c.Tr.Active() {
+		c.curTID = c.Tr.NewID()
+		c.Tr.Emit(trace.Event{
+			Cycle: uint64(r), Node: int32(c.ID), Kind: trace.KindHandler,
+			Addr: uint64(m.Addr), ID: c.curTID, Parent: m.TID,
+			Name: m.Type.String(),
+		})
 	}
 
 	// Processor-side requests for remote addresses forward to the home.

@@ -17,6 +17,7 @@ import (
 	"flashsim/internal/ppsim"
 	"flashsim/internal/protocol"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // Stats aggregates MAGIC-level statistics.
@@ -35,6 +36,10 @@ type Stats struct {
 	// Per-handler occupancy, for Table 3.4.
 	HandlerCycles map[string]sim.Cycle
 	HandlerCount  map[string]uint64
+
+	// HandlerLat histograms PP service time (dispatch through completion,
+	// including send/intervention stalls) per handler entry point.
+	HandlerLat map[string]*trace.Histogram
 }
 
 type queued struct {
@@ -50,6 +55,7 @@ type handlerCtx struct {
 	dispatched sim.Cycle // handler start time
 	segStart   sim.Cycle // start of the current PP run segment
 
+	tid         uint64    // trace id of this invocation (0 = untraced)
 	dataReady   sim.Cycle // first word of the data buffer is available
 	hasData     bool
 	specIssued  bool
@@ -78,6 +84,13 @@ type Magic struct {
 
 	PPOcc sim.OccupancyMeter
 	Stats Stats
+
+	// Tr, when non-nil, receives handler spans and message events. Injected
+	// per machine (core.Machine.SetTracer).
+	Tr *trace.Tracer
+	// PPSeries, when non-nil, samples PP busy cycles over fixed windows
+	// (core.Machine.EnableOccSampling).
+	PPSeries *trace.TimeSeries
 
 	qPI     []queued
 	qNetReq []queued
@@ -118,6 +131,7 @@ func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, prog *protocol.Progr
 	}
 	m.Stats.HandlerCycles = make(map[string]sim.Cycle)
 	m.Stats.HandlerCount = make(map[string]uint64)
+	m.Stats.HandlerLat = make(map[string]*trace.Histogram)
 	mdc := ppsim.NewMDC(cfg.MDCSize, cfg.MDCWays)
 	m.PP = ppsim.New(prog.Code, int(prog.Layout.MemBytes), mdc, (*ppEnv)(m))
 	prog.Layout.InitMemory(m.PP.Mem, id, cfg.NodeBase(id), cfg.Nodes)
@@ -222,6 +236,11 @@ func (m *Magic) tryDispatch() {
 func (m *Magic) startHandler() {
 	ctx := m.ctx
 	m.Stats.Dispatches++
+	if m.Tr.Active() {
+		// The invocation's id is minted at dispatch; the span itself is
+		// emitted at completion, when the duration is known.
+		ctx.tid = m.Tr.NewID()
+	}
 
 	// Inbox header preprocessing.
 	pp := m.PP
@@ -255,8 +274,22 @@ func (m *Magic) handleStatus(st ppsim.Status, cyc uint64) {
 		m.lastEnd = end
 		occ := end - ctx.dispatched
 		m.PPOcc.AddBusy(occ)
+		m.PPSeries.Add(uint64(ctx.dispatched), uint64(occ))
 		m.Stats.HandlerCycles[ctx.entry] += occ
 		m.Stats.HandlerCount[ctx.entry]++
+		h := m.Stats.HandlerLat[ctx.entry]
+		if h == nil {
+			h = &trace.Histogram{}
+			m.Stats.HandlerLat[ctx.entry] = h
+		}
+		h.Observe(uint64(occ))
+		if m.Tr.Active() {
+			m.Tr.Emit(trace.Event{
+				Cycle: uint64(ctx.dispatched), Dur: uint64(occ), Node: int32(m.ID),
+				Kind: trace.KindHandler, Addr: uint64(ctx.msg.Addr),
+				ID: ctx.tid, Parent: ctx.msg.TID, Name: ctx.entry,
+			})
+		}
 		if ctx.specIssued && (!ctx.specUsed || ctx.intervened) {
 			m.Mem.MarkUseless()
 		}
@@ -457,6 +490,10 @@ func (m *Magic) msgFrom(h ppsim.OutHeader) arch.Msg {
 	if h.Data {
 		db = 0
 	}
+	var tid uint64
+	if m.ctx != nil {
+		tid = m.ctx.tid // causal parent: the composing handler invocation
+	}
 	return arch.Msg{
 		Type: arch.MsgType(h.Type),
 		Addr: arch.Addr(h.Addr),
@@ -465,6 +502,7 @@ func (m *Magic) msgFrom(h ppsim.OutHeader) arch.Msg {
 		Req:  arch.NodeID(h.Req),
 		Aux:  uint32(h.Aux),
 		DB:   db,
+		TID:  tid,
 	}
 }
 

@@ -8,12 +8,17 @@ package memsys
 import (
 	"flashsim/internal/arch"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // Memory is one node's memory controller.
 type Memory struct {
-	t   arch.Timing
-	srv sim.Server
+	t    arch.Timing
+	srv  sim.Server
+	node arch.NodeID
+
+	tr     *trace.Tracer
+	series *trace.TimeSeries
 
 	// Stats.
 	Reads       uint64
@@ -27,11 +32,39 @@ func New(t arch.Timing) *Memory {
 	return &Memory{t: t}
 }
 
+// SetTracer attaches tr (nil detaches) and records the owning node id for
+// emitted reservation events.
+func (m *Memory) SetTracer(tr *trace.Tracer, node arch.NodeID) {
+	m.tr = tr
+	m.node = node
+}
+
+// EnableSampling turns on windowed occupancy sampling with the given window
+// width in cycles.
+func (m *Memory) EnableSampling(window uint64) {
+	m.series = trace.NewTimeSeries(window)
+}
+
+// Series returns the occupancy sampler, or nil when sampling is off.
+func (m *Memory) Series() *trace.TimeSeries { return m.series }
+
+// observe records one reservation in the sampler and the event trace.
+func (m *Memory) observe(kind trace.Kind, start sim.Cycle) {
+	m.series.Add(uint64(start), uint64(m.t.MemLineBusy))
+	if m.tr.Active() {
+		m.tr.Emit(trace.Event{
+			Cycle: uint64(start), Dur: uint64(m.t.MemLineBusy),
+			Node: int32(m.node), Kind: kind,
+		})
+	}
+}
+
 // Read reserves a full-line read starting no earlier than at. It returns
 // when the first 8 bytes are available and when the controller frees.
 func (m *Memory) Read(at sim.Cycle) (firstWord, done sim.Cycle) {
 	start, end := m.srv.Reserve(at, sim.Cycle(m.t.MemLineBusy))
 	m.Reads++
+	m.observe(trace.KindMemRead, start)
 	return start + sim.Cycle(m.t.MemAccess), end
 }
 
@@ -51,8 +84,9 @@ func (m *Memory) MarkUseless() { m.SpecUseless++ }
 // Write reserves a full-line write starting no earlier than at and returns
 // when the controller frees.
 func (m *Memory) Write(at sim.Cycle) (done sim.Cycle) {
-	_, end := m.srv.Reserve(at, sim.Cycle(m.t.MemLineBusy))
+	start, end := m.srv.Reserve(at, sim.Cycle(m.t.MemLineBusy))
 	m.Writes++
+	m.observe(trace.KindMemWrite, start)
 	return end
 }
 

@@ -9,6 +9,7 @@ package network
 import (
 	"flashsim/internal/arch"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // Sink receives messages delivered to a node.
@@ -24,6 +25,10 @@ type Network struct {
 	eng     *sim.Engine
 	transit sim.Cycle
 	sinks   []Sink
+
+	// Tr, when non-nil, receives a send/recv event pair per message.
+	// Injected per machine (core.Machine.SetTracer).
+	Tr *trace.Tracer
 
 	// Stats.
 	Msgs      uint64
@@ -52,6 +57,26 @@ func (n *Network) Send(at sim.Cycle, m arch.Msg) {
 	dst := n.sinks[m.Dst]
 	if dst == nil {
 		panic("network: send to unattached node")
+	}
+	if n.Tr.Active() {
+		// Each hop gets its own id, parented on the producing context, and
+		// becomes the causal parent of whatever its delivery triggers.
+		id := n.Tr.NewID()
+		n.Tr.Emit(trace.Event{
+			Cycle: uint64(at), Node: int32(m.Src), Kind: trace.KindMsgSend,
+			Addr: uint64(m.Addr), Arg: uint64(m.Dst), ID: id, Parent: m.TID,
+			Name: m.Type.String(),
+		})
+		m.TID = id
+		arrive := at + n.transit
+		n.eng.At(arrive, func() {
+			n.Tr.Emit(trace.Event{
+				Cycle: uint64(arrive), Node: int32(m.Dst), Kind: trace.KindMsgRecv,
+				Addr: uint64(m.Addr), ID: id, Name: m.Type.String(),
+			})
+			dst.FromNet(m)
+		})
+		return
 	}
 	n.eng.At(at+n.transit, func() { dst.FromNet(m) })
 }

@@ -7,12 +7,15 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"flashsim/internal/arch"
 	"flashsim/internal/core"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // Breakdown is the execution-time split of Figure 4.1, as fractions of
@@ -56,6 +59,22 @@ type Report struct {
 	MDCFillsOfMemOps   float64 // MDC fills as a share of memory operations
 
 	NetMsgs uint64
+
+	// ReadLatency histograms read-miss latency per miss class (issue to
+	// first data word), machine-wide. The measured, contention-inclusive
+	// counterpart of Table 3.3's analytic latencies.
+	ReadLatency [arch.NumMissClasses]trace.Histogram
+
+	// HandlerLatency histograms PP service time per handler entry point
+	// (FLASH only): the distribution behind Table 3.4's averages.
+	HandlerLatency map[string]*trace.Histogram `json:",omitempty"`
+
+	// OccWindow is the occupancy sampling window in cycles; when nonzero,
+	// MemOccSeries (and PPOccSeries on FLASH) hold the machine-average
+	// occupancy per window instead of only the whole-run scalars above.
+	OccWindow    uint64    `json:",omitempty"`
+	MemOccSeries []float64 `json:",omitempty"`
+	PPOccSeries  []float64 `json:",omitempty"`
 }
 
 // Collect gathers a Report from a finished machine.
@@ -100,6 +119,17 @@ func Collect(m *core.Machine) Report {
 		memAcc += n.Mem.Accesses()
 		specReads += n.Mem.SpecReads
 		specUseless += n.Mem.SpecUseless
+		for c := 0; c < int(arch.NumMissClasses); c++ {
+			r.ReadLatency[c].Merge(&s.ReadLat[c])
+		}
+	}
+	if w := uint64(m.OccWindow); w != 0 {
+		mem := trace.NewTimeSeries(w)
+		for _, n := range m.Nodes {
+			mem.Merge(n.Mem.Series())
+		}
+		r.OccWindow = w
+		r.MemOccSeries = mem.Fractions(len(m.Nodes))
 	}
 	np := float64(len(m.Nodes))
 	r.Breakdown.Busy /= np
@@ -126,6 +156,11 @@ func Collect(m *core.Machine) Report {
 	if m.Cfg.Kind == arch.KindFLASH {
 		var ppBusy, ppMax float64
 		var pairs, instrs, aluBr, special, invocations, mdcR, mdcW, mdcRM, mdcM uint64
+		r.HandlerLatency = make(map[string]*trace.Histogram)
+		var ppSeries *trace.TimeSeries
+		if r.OccWindow != 0 {
+			ppSeries = trace.NewTimeSeries(r.OccWindow)
+		}
 		for _, n := range m.Nodes {
 			mg := n.Magic
 			occ := mg.PPOcc.Fraction(total)
@@ -133,6 +168,15 @@ func Collect(m *core.Machine) Report {
 			if occ > ppMax {
 				ppMax = occ
 			}
+			for entry, h := range mg.Stats.HandlerLat {
+				agg := r.HandlerLatency[entry]
+				if agg == nil {
+					agg = &trace.Histogram{}
+					r.HandlerLatency[entry] = agg
+				}
+				agg.Merge(h)
+			}
+			ppSeries.Merge(mg.PPSeries)
 			ps := mg.PP.Stats
 			pairs += ps.Pairs
 			instrs += ps.Instrs
@@ -160,6 +204,9 @@ func Collect(m *core.Machine) Report {
 		if invocations > 0 {
 			r.PairsPerHandler = float64(pairs) / float64(invocations)
 		}
+		if ppSeries != nil {
+			r.PPOccSeries = ppSeries.Fractions(len(m.Nodes))
+		}
 		r.MDCAccesses = mdcR + mdcW
 		if r.MDCAccesses > 0 {
 			r.MDCMissRate = float64(mdcM) / float64(r.MDCAccesses)
@@ -185,6 +232,11 @@ func (r *Report) CRMT(lat [arch.NumMissClasses]sim.Cycle) float64 {
 	return t
 }
 
+// JSON renders the full report as indented JSON for machine consumption.
+func (r Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
 // String renders the report in the layout of the paper's tables.
 func (r Report) String() string {
 	var b strings.Builder
@@ -205,5 +257,48 @@ func (r Report) String() string {
 			100*r.MDCMissRate, 100*r.MDCReadMissRate, 100*r.SpecUseless)
 	}
 	fmt.Fprintf(&b, "\n")
+	for c := 0; c < int(arch.NumMissClasses); c++ {
+		h := &r.ReadLatency[c]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  read latency %-14s %s\n", arch.MissClass(c).String()+":", h)
+	}
+	if len(r.HandlerLatency) > 0 {
+		entries := make([]string, 0, len(r.HandlerLatency))
+		for e := range r.HandlerLatency {
+			entries = append(entries, e)
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			hi, hj := r.HandlerLatency[entries[i]], r.HandlerLatency[entries[j]]
+			if hi.Count != hj.Count {
+				return hi.Count > hj.Count
+			}
+			return entries[i] < entries[j]
+		})
+		fmt.Fprintf(&b, "  handler service times:\n")
+		for _, e := range entries {
+			fmt.Fprintf(&b, "    %-24s %s\n", e, r.HandlerLatency[e])
+		}
+	}
+	if r.OccWindow != 0 {
+		writeSeries(&b, "mem occ", r.OccWindow, r.MemOccSeries)
+		if r.Machine == arch.KindFLASH {
+			writeSeries(&b, "PP occ", r.OccWindow, r.PPOccSeries)
+		}
+	}
 	return b.String()
+}
+
+// writeSeries renders one occupancy-over-time curve as a compact sparkline
+// of percentages, one value per sampling window.
+func writeSeries(b *strings.Builder, label string, window uint64, vals []float64) {
+	if len(vals) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "  %s per %d cycles:", label, window)
+	for _, v := range vals {
+		fmt.Fprintf(b, " %.0f%%", 100*v)
+	}
+	fmt.Fprintf(b, "\n")
 }

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"flashsim/internal/core"
 	"flashsim/internal/cpu"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 func runTiny(t *testing.T, kind arch.MachineKind) Report {
@@ -85,5 +88,140 @@ func TestCRMT(t *testing.T) {
 	lat := [arch.NumMissClasses]sim.Cycle{24, 100, 92, 100, 136}
 	if got := r.CRMT(lat); got != 58 {
 		t.Fatalf("CRMT = %v, want 58", got)
+	}
+}
+
+// TestCRMTWeighting checks that every class contributes with its own weight:
+// a distribution concentrated in the most expensive class must dominate one
+// concentrated in the cheapest.
+func TestCRMTWeighting(t *testing.T) {
+	lat := [arch.NumMissClasses]sim.Cycle{24, 100, 92, 100, 136}
+
+	var all Report
+	frac := 1.0 / float64(arch.NumMissClasses)
+	for c := 0; c < int(arch.NumMissClasses); c++ {
+		all.ReadClass[c] = frac
+	}
+	want := (24.0 + 100 + 92 + 100 + 136) / float64(arch.NumMissClasses)
+	if got := all.CRMT(lat); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("uniform CRMT = %v, want %v", got, want)
+	}
+
+	var cheap, dear Report
+	cheap.ReadClass[arch.MissLocalClean] = 1
+	dear.ReadClass[arch.MissRemoteDirty3rd] = 1
+	if cheap.CRMT(lat) != 24 || dear.CRMT(lat) != 136 {
+		t.Fatalf("pure-class CRMT = %v / %v, want 24 / 136",
+			cheap.CRMT(lat), dear.CRMT(lat))
+	}
+
+	var zero Report
+	if got := zero.CRMT(lat); got != 0 {
+		t.Fatalf("empty CRMT = %v, want 0", got)
+	}
+}
+
+// goldenFLASHReport is a fully populated FLASH report with fixed values, for
+// pinning the String layout.
+func goldenFLASHReport() Report {
+	r := Report{
+		Machine: arch.KindFLASH,
+		Nodes:   2,
+		Elapsed: 10000,
+		Breakdown: Breakdown{
+			Busy: 0.5, Read: 0.25, Write: 0.05, Sync: 0.15, Cont: 0.05,
+		},
+		Refs:       1000,
+		Misses:     20,
+		ReadMisses: 15,
+		MissRate:   0.02,
+		Naks:       1,
+		AvgMemOcc:  0.1, MaxMemOcc: 0.2,
+		AvgPPOcc: 0.15, MaxPPOcc: 0.3,
+		DualIssueEff: 1.25, SpecialUse: 0.4,
+		PairsPerHandler: 12, HandlersPerMiss: 2.5,
+		MDCMissRate: 0.01, MDCReadMissRate: 0.02, SpecUseless: 0.3,
+		OccWindow:    5000,
+		MemOccSeries: []float64{0.5, 0.25},
+		PPOccSeries:  []float64{0.4, 0.1},
+	}
+	r.ReadClass[arch.MissLocalClean] = 0.2
+	r.ReadClass[arch.MissRemoteClean] = 0.4
+	r.ReadClass[arch.MissRemoteDirty3rd] = 0.4
+	for _, v := range []uint64{30, 40, 50} {
+		r.ReadLatency[arch.MissLocalClean].Observe(v)
+	}
+	h := &trace.Histogram{}
+	for _, v := range []uint64{10, 12, 14} {
+		h.Observe(v)
+	}
+	r.HandlerLatency = map[string]*trace.Histogram{"NILocalGet": h}
+	return r
+}
+
+func TestReportStringGoldenFLASH(t *testing.T) {
+	want := "FLASH machine, 2 nodes, 10000 cycles\n" +
+		"  breakdown: busy 50.0%  read 25.0%  write 5.0%  sync 15.0%  cont 5.0%\n" +
+		"  refs 1000  miss rate 2.000%  read misses 15  naks 1\n" +
+		"  read miss classes:  Local Clean 20.0%  Local Dirty Remote 0.0%  Remote Clean 40.0%  Remote Dirty at Home 0.0%  Remote Dirty Remote 40.0%\n" +
+		"  mem occ avg 10.0% max 20.0%  PP occ avg 15.0% max 30.0%\n" +
+		"  PP: dual-issue 1.25  special 40%  pairs/handler 12.0  handlers/miss 2.50\n" +
+		"  MDC: miss 1.00% read-miss 2.00%  spec useless 30.0%\n" +
+		"  read latency Local Clean:   n=3 mean=40.0 min=30 p50~40 p90~50 p99~50 max=50\n" +
+		"  handler service times:\n" +
+		"    NILocalGet               n=3 mean=12.0 min=10 p50~12 p90~14 p99~14 max=14\n" +
+		"  mem occ per 5000 cycles: 50% 25%\n" +
+		"  PP occ per 5000 cycles: 40% 10%\n"
+	if got := goldenFLASHReport().String(); got != want {
+		t.Errorf("FLASH report rendering changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestReportStringGoldenIdeal(t *testing.T) {
+	r := Report{
+		Machine: arch.KindIdeal,
+		Nodes:   2,
+		Elapsed: 8000,
+		Breakdown: Breakdown{
+			Busy: 0.6, Read: 0.2, Write: 0.05, Sync: 0.1, Cont: 0.05,
+		},
+		Refs:       1000,
+		Misses:     20,
+		ReadMisses: 15,
+		MissRate:   0.02,
+		AvgMemOcc:  0.08, MaxMemOcc: 0.15,
+	}
+	r.ReadClass[arch.MissLocalClean] = 1
+	for _, v := range []uint64{24, 26} {
+		r.ReadLatency[arch.MissLocalClean].Observe(v)
+	}
+	want := "ideal machine, 2 nodes, 8000 cycles\n" +
+		"  breakdown: busy 60.0%  read 20.0%  write 5.0%  sync 10.0%  cont 5.0%\n" +
+		"  refs 1000  miss rate 2.000%  read misses 15  naks 0\n" +
+		"  read miss classes:  Local Clean 100.0%  Local Dirty Remote 0.0%  Remote Clean 0.0%  Remote Dirty at Home 0.0%  Remote Dirty Remote 0.0%\n" +
+		"  mem occ avg 8.0% max 15.0%\n" +
+		"  read latency Local Clean:   n=2 mean=25.0 min=24 p50~24 p90~26 p99~26 max=26\n"
+	if got := r.String(); got != want {
+		t.Errorf("ideal report rendering changed:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestReportJSONRoundTrip checks that the machine-readable export decodes
+// back into an identical Report, including the histogram and series fields.
+func TestReportJSONRoundTrip(t *testing.T) {
+	r := goldenFLASHReport()
+	buf, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatalf("decoding report JSON: %v", err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", back, r)
+	}
+	if !strings.Contains(string(buf), `"Machine": "FLASH"`) {
+		t.Errorf("machine kind not exported by name:\n%s", buf)
 	}
 }

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// HistBuckets is the number of power-of-two latency buckets. Bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i);
+// bucket 0 holds v == 0 and the last bucket absorbs everything above
+// 2^(HistBuckets-2). 40 buckets cover every latency a bounded simulation
+// can produce (2^38 cycles ≈ 45 simulated minutes).
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket latency histogram with exact count, sum, min
+// and max. The value type has no pointers and a fixed size, so embedding
+// one in per-node statistics costs no allocations and recording an
+// observation is a handful of integer operations — cheap enough to stay
+// always-on.
+type Histogram struct {
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
+	Min     uint64              `json:"min"`
+	Max     uint64              `json:"max"`
+	Buckets [HistBuckets]uint64 `json:"pow2_buckets"`
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.Buckets[i]++
+	h.Sum += v
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the exact mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// BucketBounds returns the half-open value range [lo, hi) of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	return 1 << (i - 1), 1 << i
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) assuming a uniform
+// distribution within each bucket, clamped to the exact Min/Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.Min)
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	rank := q * float64(h.Count)
+	var seen float64
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if seen+float64(n) >= rank {
+			lo, hi := BucketBounds(i)
+			v := float64(lo) + (rank-seen)/float64(n)*float64(hi-lo)
+			if v < float64(h.Min) {
+				v = float64(h.Min)
+			}
+			if v > float64(h.Max) {
+				v = float64(h.Max)
+			}
+			return v
+		}
+		seen += float64(n)
+	}
+	return float64(h.Max)
+}
+
+// String renders a compact one-line summary.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50~%.0f p90~%.0f p99~%.0f max=%d",
+		h.Count, h.Mean(), h.Min, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max)
+}

@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLSink writes one JSON object per line — the exchange format for
+// scripts and the decoder ReadJSONL.
+type JSONLSink struct {
+	w   *bufio.Writer
+	c   io.Closer // underlying file, if any
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w. If w is also an io.Closer it is closed by Close.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(ev)
+}
+
+// Close flushes buffered lines and reports the first write error.
+func (s *JSONLSink) Close() error {
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// ReadJSONL decodes a JSONL trace produced by JSONLSink.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("trace: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+}
+
+// ChromeSink streams events in the Chrome trace-event format, viewable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. One simulated cycle is
+// rendered as one microsecond. Each node is a process; lane 0 carries
+// handler spans, lane 1 memory-controller spans, lane 2 instant events.
+type ChromeSink struct {
+	w     *bufio.Writer
+	c     io.Closer
+	first bool
+	err   error
+}
+
+// NewChromeSink wraps w. If w is also an io.Closer it is closed by Close.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &ChromeSink{w: bw, first: true}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	_, s.err = bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	return s
+}
+
+// chromeEvent is the wire form of one trace-event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Emit implements Sink.
+func (s *ChromeSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	ce := chromeEvent{
+		Name: ev.Name,
+		Cat:  ev.Kind.String(),
+		TS:   ev.Cycle,
+		PID:  ev.Node,
+	}
+	if ce.Name == "" {
+		ce.Name = ev.Kind.String()
+	}
+	switch ev.Kind {
+	case KindHandler:
+		ce.Ph, ce.TID, ce.Dur = "X", 0, ev.Dur
+	case KindMemRead, KindMemWrite:
+		ce.Ph, ce.TID, ce.Dur = "X", 1, ev.Dur
+	default:
+		ce.Ph, ce.TID, ce.S = "i", 2, "t"
+	}
+	args := map[string]any{}
+	if ev.Addr != 0 {
+		args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+	}
+	if ev.ID != 0 {
+		args["id"] = ev.ID
+	}
+	if ev.Parent != 0 {
+		args["parent"] = ev.Parent
+	}
+	if ev.Arg != 0 {
+		args["arg"] = ev.Arg
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	buf, err := json.Marshal(ce)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if !s.first {
+		if _, s.err = s.w.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.first = false
+	_, s.err = s.w.Write(buf)
+}
+
+// Close terminates the JSON document and flushes.
+func (s *ChromeSink) Close() error {
+	if _, err := s.w.WriteString("\n]}\n"); s.err == nil {
+		s.err = err
+	}
+	if err := s.w.Flush(); s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// ChromeTrace is the decoded form of a ChromeSink document, for tests and
+// tooling that round-trip the format.
+type ChromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+}
+
+// ChromeEvent is one decoded trace-event record.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// ReadChrome decodes a Chrome trace-event document produced by ChromeSink.
+func ReadChrome(r io.Reader) (*ChromeTrace, error) {
+	var t ChromeTrace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: chrome decode: %w", err)
+	}
+	return &t, nil
+}

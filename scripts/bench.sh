@@ -17,6 +17,14 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench . -benchmem -count "$COUNT" \
 	./internal/sim ./internal/workload | tee "$RAW"
 
+# The engine's hot loop must stay allocation-free: every BenchmarkEngine*
+# line must report 0 allocs/op, or the observability layer (or anything
+# else) has leaked allocations into the core event queue.
+awk '/^BenchmarkEngine/ && $7 != 0 {
+	printf "FAIL: %s reports %s allocs/op (want 0)\n", $1, $7; bad = 1
+}
+END { exit bad }' "$RAW" || { echo "bench.sh: engine allocation regression" >&2; exit 1; }
+
 awk -v count="$COUNT" '
 /^pkg:/ { pkg = $2; sub(/^flashsim\/internal\//, "", pkg) }
 /^Benchmark/ {
