@@ -8,9 +8,12 @@ build:
 	$(GO) build ./...
 
 # Tier-1 verify line (keep in sync with ROADMAP.md), plus a race-detector
-# pass over the concurrent experiment driver.
+# pass over the concurrent experiment driver, plus the exp golden digests
+# under the interpreter PP backend (the default test run covers the compiled
+# backend), so neither dispatch path can rot.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
+	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestGolden
 
 test:
 	$(GO) test ./...

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	flashexp [-scale N] [-procs N] [-noverify] [-parallel N] <experiment>...
+//	flashexp [-scale N] [-procs N] [-noverify] [-parallel N]
+//	         [-pp-dispatch compiled|interp] <experiment>...
 //	flashexp all
 //
 // Experiments: table3.3 table3.4 fig4.1 fig4.2 fig4.3 sec4.3 sec4.5
@@ -30,7 +31,20 @@ func main() {
 	noverify := flag.Bool("noverify", false, "skip result verification after runs")
 	parallel := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = adaptive from GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit experiment results as a JSON array on stdout")
+	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
 	flag.Parse()
+
+	switch *ppDispatch {
+	case "":
+		// Process default (FLASHSIM_PP_DISPATCH if already set, else compiled).
+	case "compiled", "interp":
+		// Experiments build their own machine configs deep inside exp, so the
+		// override travels via the environment knob ppsim consults.
+		os.Setenv("FLASHSIM_PP_DISPATCH", *ppDispatch)
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp: unknown pp-dispatch %q\n", *ppDispatch)
+		os.Exit(2)
+	}
 
 	o := exp.Options{Scale: *scale, Verify: !*noverify, Parallelism: *parallel}
 	if *procs > 0 {

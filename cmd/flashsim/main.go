@@ -5,7 +5,8 @@
 //
 //	flashsim [-machine flash|ideal] [-app fft] [-procs 16] [-cache 1048576]
 //	         [-scale 4] [-placement rr|ft|node0] [-nospec] [-ppmode dual|single|dlx]
-//	         [-json] [-trace out.jsonl] [-trace-format jsonl|chrome] [-occ-window N]
+//	         [-pp-dispatch compiled|interp] [-json] [-trace out.jsonl]
+//	         [-trace-format jsonl|chrome] [-occ-window N]
 //
 // -json prints the statistics report as JSON on stdout (progress goes to
 // stderr). -trace streams every simulation event to the named file, either as
@@ -37,6 +38,7 @@ func main() {
 	placement := flag.String("placement", "ft", "page placement: rr, ft, node0")
 	nospec := flag.Bool("nospec", false, "disable speculative memory reads")
 	ppmode := flag.String("ppmode", "dual", "PP mode: dual, single, dlx")
+	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
 	proto := flag.String("protocol", "dynptr", "coherence protocol: dynptr, bitvec")
 	membytes := flag.Int("membytes", 8<<20, "memory bytes per node")
 	jsonOut := flag.Bool("json", false, "emit the statistics report as JSON on stdout")
@@ -85,6 +87,16 @@ func main() {
 		cfg.PPMode = arch.PPNoSpecial
 	default:
 		fatal("unknown ppmode %q", *ppmode)
+	}
+	switch *ppDispatch {
+	case "":
+		// Leave PPDispatchAuto: FLASHSIM_PP_DISPATCH if set, else compiled.
+	case "compiled":
+		cfg.PPDispatch = arch.PPDispatchCompiled
+	case "interp":
+		cfg.PPDispatch = arch.PPDispatchInterp
+	default:
+		fatal("unknown pp-dispatch %q", *ppDispatch)
 	}
 
 	m, err := core.New(cfg)

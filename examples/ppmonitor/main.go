@@ -53,14 +53,15 @@ func main() {
 	agg := map[string]*prof{}
 	var pairs, instrs uint64
 	for _, n := range m.Nodes {
-		for h, c := range n.Magic.Stats.HandlerCycles {
+		counts := n.Magic.HandlerCounts()
+		for h, c := range n.Magic.HandlerCycles() {
 			p := agg[h]
 			if p == nil {
 				p = &prof{}
 				agg[h] = p
 			}
 			p.cycles += c
-			p.count += n.Magic.Stats.HandlerCount[h]
+			p.count += counts[h]
 		}
 		pairs += n.Magic.PP.Stats.Pairs
 		instrs += n.Magic.PP.Stats.Instrs

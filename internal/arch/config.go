@@ -96,6 +96,31 @@ func (m PPMode) String() string {
 	}
 }
 
+// PPDispatch selects the PP emulator's execution engine. Both engines are
+// bit-identical in simulated behaviour; the choice only affects host-side
+// simulation speed (ppsim compile.go documents the equivalence argument).
+type PPDispatch uint8
+
+const (
+	// PPDispatchAuto defers to the process default: the FLASHSIM_PP_DISPATCH
+	// environment variable if set, the compiled backend otherwise.
+	PPDispatchAuto PPDispatch = iota
+	// PPDispatchCompiled forces the predecoded closure backend.
+	PPDispatchCompiled
+	// PPDispatchInterp forces the reference switch interpreter.
+	PPDispatchInterp
+)
+
+func (d PPDispatch) String() string {
+	switch d {
+	case PPDispatchCompiled:
+		return "compiled"
+	case PPDispatchInterp:
+		return "interp"
+	}
+	return "auto"
+}
+
 // Protocol selects which coherence protocol program MAGIC runs — the
 // machine's flexibility in action.
 type Protocol uint8
@@ -135,6 +160,10 @@ type Config struct {
 	Protocol    Protocol // coherence protocol program (FLASH machines)
 	MDCSize     int      // MAGIC data cache bytes (paper: 64 KB)
 	MDCWays     int      // MDC associativity (paper: 2)
+
+	// PPDispatch selects the host-side PP execution engine (simulation
+	// speed only; simulated results are bit-identical across engines).
+	PPDispatch PPDispatch
 
 	Timing Timing
 

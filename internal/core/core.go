@@ -45,7 +45,7 @@ type Machine struct {
 	Eng     *sim.Engine
 	Net     *network.Network
 	Nodes   []*Node
-	Backing []uint64 // machine-wide data store, 8-byte words
+	Backing *memsys.Store // machine-wide data store, 8-byte words
 	Prog    *protocol.Program
 
 	// Elapsed is the parallel execution time: the cycle at which the last
@@ -118,7 +118,7 @@ func New(cfg arch.Config) (*Machine, error) {
 	m := &Machine{
 		Cfg:     cfg,
 		Eng:     sim.NewEngine(),
-		Backing: make([]uint64, cfg.Nodes*cfg.MemBytesPerNode/8),
+		Backing: memsys.NewStore(cfg.Nodes * cfg.MemBytesPerNode / 8),
 	}
 	m.Net = network.New(m.Eng, cfg.Nodes, sim.Cycle(cfg.Timing.NetTransit))
 
@@ -136,7 +136,10 @@ func New(cfg arch.Config) (*Machine, error) {
 		n := &Node{Mem: mem}
 		switch cfg.Kind {
 		case arch.KindFLASH:
-			mg := magic.New(id, m.Eng, &m.Cfg, m.Prog, mem, m.Net)
+			mg, err := magic.New(id, m.Eng, &m.Cfg, m.Prog, mem, m.Net)
+			if err != nil {
+				return nil, err
+			}
 			n.Magic = mg
 			n.Ctl = mg
 		case arch.KindIdeal:
@@ -154,7 +157,7 @@ func New(cfg arch.Config) (*Machine, error) {
 
 // Word returns a pointer to the backing-store word at addr, for untimed
 // initialization by workloads before the simulation starts.
-func (m *Machine) Word(a arch.Addr) *uint64 { return &m.Backing[a/8] }
+func (m *Machine) Word(a arch.Addr) *uint64 { return m.Backing.Word(uint64(a) / 8) }
 
 // Run attaches one reference source per processor, runs the machine until
 // every source is exhausted and all outstanding traffic drains, and records

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flashsim/internal/arch"
+	"flashsim/internal/memsys"
 	"flashsim/internal/sim"
 	"flashsim/internal/trace"
 )
@@ -137,7 +138,7 @@ type CPU struct {
 	cfg   *arch.Config
 	ctl   Ctl
 	src   RefSource
-	mem   []uint64 // machine backing store (shared; accessed only from the sim goroutine)
+	mem   *memsys.Store // machine backing store (shared; accessed only from the sim goroutine)
 	chunk sim.Cycle
 
 	mshrs []mshrEntry
@@ -160,7 +161,7 @@ type CPU struct {
 
 // New creates a CPU. mem is the machine-wide backing store (8-byte words
 // indexed by physical address / 8).
-func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, ctl Ctl, mem []uint64) *CPU {
+func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, ctl Ctl, mem *memsys.Store) *CPU {
 	return &CPU{
 		ID:    id,
 		Cache: NewCache(cfg.CacheSize, cfg.CacheWays),
@@ -606,24 +607,25 @@ func (c *CPU) Intervene(kind arch.MsgType, addr arch.Addr, at sim.Cycle, done fu
 
 func (c *CPU) load(ref *Ref) {
 	if ref.Out != nil {
-		*ref.Out = c.mem[ref.Addr/8]
+		*ref.Out = c.mem.Load(uint64(ref.Addr) / 8)
 	}
 }
 
 func (c *CPU) store(ref *Ref) {
-	c.mem[ref.Addr/8] = ref.WVal
+	*c.mem.Word(uint64(ref.Addr) / 8) = ref.WVal
 }
 
 func (c *CPU) rmw(ref *Ref) {
-	old := c.mem[ref.Addr/8]
+	w := c.mem.Word(uint64(ref.Addr) / 8)
+	old := *w
 	if ref.Out != nil {
 		*ref.Out = old
 	}
 	switch ref.RMW {
 	case RMWSwap:
-		c.mem[ref.Addr/8] = ref.WVal
+		*w = ref.WVal
 	case RMWAdd:
-		c.mem[ref.Addr/8] = old + ref.WVal
+		*w = old + ref.WVal
 	}
 }
 

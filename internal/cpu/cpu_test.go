@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flashsim/internal/arch"
+	"flashsim/internal/memsys"
 	"flashsim/internal/sim"
 )
 
@@ -58,7 +59,7 @@ func testCPU(t *testing.T, refs []Ref, nak int) (*CPU, *echoCtl, *sim.Engine) {
 	cfg.MemBytesPerNode = 1 << 20
 	eng := sim.NewEngine()
 	ctl := &echoCtl{eng: eng, latency: 50, nakRem: nak}
-	mem := make([]uint64, cfg.MemBytesPerNode/4)
+	mem := memsys.NewStore(cfg.MemBytesPerNode / 4)
 	c := New(0, eng, &cfg, ctl, mem)
 	ctl.cpu = c
 	c.SetSource(&scripted{refs: refs}, nil)
@@ -102,7 +103,7 @@ func TestNonblockingWriteAndMerge(t *testing.T) {
 		t.Fatalf("write stall = %d, want 0 (non-blocking)", c.Stats.WriteStall)
 	}
 	// Values applied in order.
-	if c.mem[0x2008/8] != 2 || c.mem[0x2010/8] != 3 {
+	if c.mem.Load(0x2008/8) != 2 || c.mem.Load(0x2010/8) != 3 {
 		t.Fatal("merged stores lost")
 	}
 }
@@ -155,7 +156,7 @@ func TestMissClassification(t *testing.T) {
 		cfg.MemBytesPerNode = 1 << 20
 		eng := sim.NewEngine()
 		ctl := &echoCtl{eng: eng, latency: 30, aux: cse.aux}
-		c := New(0, eng, &cfg, ctl, make([]uint64, 1<<18))
+		c := New(0, eng, &cfg, ctl, memsys.NewStore(1<<18))
 		ctl.cpu = c
 		var out uint64
 		c.SetSource(&scripted{refs: []Ref{{Kind: arch.RefRead, Addr: cse.addr, Out: &out}}}, nil)

@@ -97,3 +97,33 @@ func TestGoldenDigest(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenBackendsAgree runs whole applications under both PP dispatch
+// engines and requires identical digests: the compiled backend must be a
+// pure host-side optimization with no simulated-behavior fingerprint. The
+// per-pair differential torture test lives in ppsim; this is the end-to-end
+// closure over full protocol runs.
+func TestGoldenBackendsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"fft", "lu", "radix"} {
+		digests := map[arch.PPDispatch]goldenDigest{}
+		for _, d := range []arch.PPDispatch{arch.PPDispatchInterp, arch.PPDispatchCompiled} {
+			cfg := goldenConfig()
+			cfg.PPDispatch = d
+			r, err := RunApp(name, cfg, apps.Params{Scale: goldenScales[name]}, true)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, d, err)
+			}
+			digests[d] = goldenDigest{
+				Elapsed:  uint64(r.Report.Elapsed),
+				Executed: r.Machine.Eng.Executed,
+			}
+		}
+		if digests[arch.PPDispatchInterp] != digests[arch.PPDispatchCompiled] {
+			t.Errorf("%s: interp %+v != compiled %+v", name,
+				digests[arch.PPDispatchInterp], digests[arch.PPDispatchCompiled])
+		}
+	}
+}

@@ -132,10 +132,11 @@ func Table34() (string, error) {
 	}
 	agg := map[string][2]uint64{}
 	for _, n := range m.Nodes {
-		for h, c := range n.Magic.Stats.HandlerCycles {
+		counts := n.Magic.HandlerCounts()
+		for h, c := range n.Magic.HandlerCycles() {
 			v := agg[h]
 			v[0] += uint64(c)
-			v[1] += n.Magic.Stats.HandlerCount[h]
+			v[1] += counts[h]
 			agg[h] = v
 		}
 	}

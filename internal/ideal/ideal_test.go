@@ -42,7 +42,7 @@ func newRig(t *testing.T, refs [2][]cpu.Ref) *rig {
 	cfg.Timing = arch.IdealTiming()
 	r := &rig{eng: sim.NewEngine()}
 	net := network.New(r.eng, 2, 22)
-	mem := make([]uint64, 1<<18)
+	mem := memsys.NewStore(1 << 18)
 	for i := 0; i < 2; i++ {
 		m := memsys.New(cfg.Timing)
 		c := New(arch.NodeID(i), r.eng, &cfg, m, net)

@@ -32,14 +32,29 @@ type Stats struct {
 	QueueHighNet  int
 	BufHigh       int // data buffer high-water mark
 	BufOverflow   uint64
+}
 
-	// Per-handler occupancy, for Table 3.4.
-	HandlerCycles map[string]sim.Cycle
-	HandlerCount  map[string]uint64
+// handlerAgg accumulates per-handler occupancy (Table 3.4) and the service
+// time histogram for one entry point. Completion accounting bumps these
+// through a pointer interned in the jump table, keeping handler names (and
+// map lookups) entirely off the dispatch hot path.
+type handlerAgg struct {
+	cycles sim.Cycle
+	count  uint64
+	// lat histograms PP service time (dispatch through completion,
+	// including send/intervention stalls).
+	lat trace.Histogram
+}
 
-	// HandlerLat histograms PP service time (dispatch through completion,
-	// including send/intervention stalls) per handler entry point.
-	HandlerLat map[string]*trace.Histogram
+// jtSlot is one predecoded jump-table slot: the handler's pair index and
+// speculation flag from the protocol's dispatch rules, resolved once at
+// construction.
+type jtSlot struct {
+	pc    int
+	spec  bool
+	ok    bool // false: no handler for this (type, path, home) combination
+	entry string
+	agg   *handlerAgg
 }
 
 type queued struct {
@@ -50,7 +65,9 @@ type queued struct {
 // handlerCtx tracks one in-flight handler invocation.
 type handlerCtx struct {
 	msg        arch.Msg
-	entry      string
+	entry      string // handler name, for traces and diagnostics only
+	pc         int    // interned entry pair index (jump table)
+	agg        *handlerAgg
 	viaNet     bool
 	dispatched sim.Cycle // handler start time
 	segStart   sim.Cycle // start of the current PP run segment
@@ -103,6 +120,16 @@ type Magic struct {
 
 	ctx *handlerCtx // nil when the PP is idle
 
+	// jt is the inbox jump table, indexed [viaNet][isHome][msg type]: the
+	// protocol's dispatch rules and the handler entry-point map, both
+	// string-keyed, resolved once at construction (Section 2's hardware
+	// jump table did the same lookup in a dedicated RAM).
+	jt [2][2][arch.NumMsgTypes]jtSlot
+
+	// handlers interns one accumulator per handler entry name; jump-table
+	// slots sharing an entry share the accumulator.
+	handlers map[string]*handlerAgg
+
 	dispatchScheduled bool
 
 	// lastEnd tracks the previous handler's completion for the
@@ -118,24 +145,83 @@ const (
 )
 
 // New builds a MAGIC controller. Call Attach afterwards to wire the CPU
-// (construction order is circular).
-func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, prog *protocol.Program, mem *memsys.Memory, net *network.Network) *Magic {
+// (construction order is circular). The protocol's dispatch rules and the
+// program's entry-point map are interned into a dense jump table here, so
+// an inconsistent protocol/program pairing fails at construction instead
+// of mid-simulation.
+func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, prog *protocol.Program, mem *memsys.Memory, net *network.Network) (*Magic, error) {
 	m := &Magic{
-		ID:   id,
-		Eng:  eng,
-		Cfg:  cfg,
-		T:    cfg.Timing,
-		Prog: prog,
-		Mem:  mem,
-		Net:  net,
+		ID:       id,
+		Eng:      eng,
+		Cfg:      cfg,
+		T:        cfg.Timing,
+		Prog:     prog,
+		Mem:      mem,
+		Net:      net,
+		handlers: make(map[string]*handlerAgg),
 	}
-	m.Stats.HandlerCycles = make(map[string]sim.Cycle)
-	m.Stats.HandlerCount = make(map[string]uint64)
-	m.Stats.HandlerLat = make(map[string]*trace.Histogram)
 	mdc := ppsim.NewMDC(cfg.MDCSize, cfg.MDCWays)
-	m.PP = ppsim.New(prog.Code, int(prog.Layout.MemBytes), mdc, (*ppEnv)(m))
+	m.PP = ppsim.NewBackend(prog.Code, int(prog.Layout.MemBytes), mdc, (*ppEnv)(m), ppsim.BackendFor(cfg.PPDispatch))
 	prog.Layout.InitMemory(m.PP.Mem, id, cfg.NodeBase(id), cfg.Nodes)
-	return m
+	for viaNet := 0; viaNet < 2; viaNet++ {
+		for isHome := 0; isHome < 2; isHome++ {
+			for t := arch.MsgType(0); t < arch.NumMsgTypes; t++ {
+				jt, err := protocol.Dispatch(t, viaNet == 1, isHome == 1)
+				if err != nil {
+					continue // no handler on this path; stays !ok
+				}
+				pc, err := m.PP.EntryPC(jt.Entry)
+				if err != nil {
+					return nil, fmt.Errorf("magic%d: jump table slot %s (viaNet=%v isHome=%v): %w",
+						id, t, viaNet == 1, isHome == 1, err)
+				}
+				agg := m.handlers[jt.Entry]
+				if agg == nil {
+					agg = &handlerAgg{}
+					m.handlers[jt.Entry] = agg
+				}
+				m.jt[viaNet][isHome][t] = jtSlot{pc: pc, spec: jt.Spec, ok: true, entry: jt.Entry, agg: agg}
+			}
+		}
+	}
+	return m, nil
+}
+
+// HandlerCycles returns per-handler PP occupancy (Table 3.4), keyed by
+// entry-point name. The map is materialized on demand; mutating it does not
+// affect the controller.
+func (m *Magic) HandlerCycles() map[string]sim.Cycle {
+	out := make(map[string]sim.Cycle, len(m.handlers))
+	for name, agg := range m.handlers {
+		if agg.count > 0 {
+			out[name] = agg.cycles
+		}
+	}
+	return out
+}
+
+// HandlerCounts returns per-handler invocation counts, keyed by entry name.
+func (m *Magic) HandlerCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(m.handlers))
+	for name, agg := range m.handlers {
+		if agg.count > 0 {
+			out[name] = agg.count
+		}
+	}
+	return out
+}
+
+// HandlerLatencies returns per-handler PP service-time histograms (dispatch
+// through completion, including send/intervention stalls). The histograms
+// are the live accumulators; callers must not mutate them.
+func (m *Magic) HandlerLatencies() map[string]*trace.Histogram {
+	out := make(map[string]*trace.Histogram, len(m.handlers))
+	for name, agg := range m.handlers {
+		if agg.count > 0 {
+			out[name] = &agg.lat
+		}
+	}
+	return out
 }
 
 // Attach wires the processor and boots the PP (runs pp_init to establish
@@ -205,19 +291,19 @@ func (m *Magic) tryDispatch() {
 	now := m.Eng.Now()
 	dispatch := now + sim.Cycle(m.T.InboxSelect) + sim.Cycle(m.T.JumpTable)
 	isHome := m.Cfg.HomeOf(msg.Addr) == m.ID
-	jt, err := protocol.Dispatch(msg.Type, viaNet, isHome)
-	if err != nil {
-		panic(fmt.Sprintf("magic%d: %v", m.ID, err))
+	slot := &m.jt[b2i(viaNet)][b2i(isHome)][msg.Type]
+	if !slot.ok {
+		panic(fmt.Sprintf("magic%d: no handler for %s (viaNet=%v isHome=%v)", m.ID, msg.Type, viaNet, isHome))
 	}
 
-	ctx := &handlerCtx{msg: msg, entry: jt.Entry, viaNet: viaNet, dispatched: dispatch}
+	ctx := &handlerCtx{msg: msg, entry: slot.entry, pc: slot.pc, agg: slot.agg, viaNet: viaNet, dispatched: dispatch}
 	if msg.Type.CarriesData() {
 		// The data streamed into a buffer alongside the header.
 		ctx.hasData = true
 		ctx.dataReady = now
 		m.allocBuf()
 	}
-	if jt.Spec && m.Cfg.Speculation {
+	if slot.spec && m.Cfg.Speculation {
 		fw, _ := m.Mem.SpeculativeRead(dispatch)
 		ctx.specIssued = true
 		if !ctx.hasData {
@@ -257,7 +343,7 @@ func (m *Magic) startHandler() {
 	}
 
 	ctx.segStart = ctx.dispatched
-	st, cyc := pp.Start(ctx.entry)
+	st, cyc := pp.StartAt(ctx.pc)
 	m.handleStatus(st, cyc)
 }
 
@@ -275,14 +361,9 @@ func (m *Magic) handleStatus(st ppsim.Status, cyc uint64) {
 		occ := end - ctx.dispatched
 		m.PPOcc.AddBusy(occ)
 		m.PPSeries.Add(uint64(ctx.dispatched), uint64(occ))
-		m.Stats.HandlerCycles[ctx.entry] += occ
-		m.Stats.HandlerCount[ctx.entry]++
-		h := m.Stats.HandlerLat[ctx.entry]
-		if h == nil {
-			h = &trace.Histogram{}
-			m.Stats.HandlerLat[ctx.entry] = h
-		}
-		h.Observe(uint64(occ))
+		ctx.agg.cycles += occ
+		ctx.agg.count++
+		ctx.agg.lat.Observe(uint64(occ))
 		if m.Tr.Active() {
 			m.Tr.Emit(trace.Event{
 				Cycle: uint64(ctx.dispatched), Dur: uint64(occ), Node: int32(m.ID),
@@ -343,6 +424,13 @@ func (m *Magic) wake(t sim.Cycle) {
 		st, cyc := m.PP.Resume()
 		m.handleStatus(st, cyc)
 	})
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (m *Magic) allocBuf() {

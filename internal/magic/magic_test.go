@@ -45,11 +45,14 @@ func newRig(t *testing.T, cfg arch.Config, refs [2][]cpu.Ref) *rig {
 	}
 	r := &rig{eng: sim.NewEngine(), prog: prog}
 	net := network.New(r.eng, 2, 22)
-	mem := make([]uint64, 1<<18)
+	mem := memsys.NewStore(1 << 18)
 	for i := 0; i < 2; i++ {
 		ms := memsys.New(cfg.Timing)
 		cfgCopy := cfg
-		mg := New(arch.NodeID(i), r.eng, &cfgCopy, prog, ms, net)
+		mg, err := New(arch.NodeID(i), r.eng, &cfgCopy, prog, ms, net)
+		if err != nil {
+			t.Fatal(err)
+		}
 		p := cpu.New(arch.NodeID(i), r.eng, &cfgCopy, mg, mem)
 		mg.Attach(p)
 		net.Attach(arch.NodeID(i), mg)
@@ -70,8 +73,8 @@ func TestHandlerDispatchLocalRead(t *testing.T) {
 		nil,
 	})
 	mg := r.magics[0]
-	if mg.Stats.HandlerCount["pi_get_local"] != 1 {
-		t.Fatalf("handler counts: %v", mg.Stats.HandlerCount)
+	if mg.HandlerCounts()["pi_get_local"] != 1 {
+		t.Fatalf("handler counts: %v", mg.HandlerCounts())
 	}
 	if mg.Stats.PISends != 1 {
 		t.Fatalf("PI sends = %d, want 1 (data reply)", mg.Stats.PISends)
@@ -128,14 +131,14 @@ func TestRemoteReadHandlers(t *testing.T) {
 		nil,
 		{{Kind: arch.RefRead, Addr: 0x1000}}, // remote read of node 0's line
 	})
-	if r.magics[1].Stats.HandlerCount["pi_get_remote"] != 1 {
-		t.Fatalf("requester handlers: %v", r.magics[1].Stats.HandlerCount)
+	if r.magics[1].HandlerCounts()["pi_get_remote"] != 1 {
+		t.Fatalf("requester handlers: %v", r.magics[1].HandlerCounts())
 	}
-	if r.magics[0].Stats.HandlerCount["ni_get"] != 1 {
-		t.Fatalf("home handlers: %v", r.magics[0].Stats.HandlerCount)
+	if r.magics[0].HandlerCounts()["ni_get"] != 1 {
+		t.Fatalf("home handlers: %v", r.magics[0].HandlerCounts())
 	}
-	if r.magics[1].Stats.HandlerCount["ni_put"] != 1 {
-		t.Fatalf("reply handlers: %v", r.magics[1].Stats.HandlerCount)
+	if r.magics[1].HandlerCounts()["ni_put"] != 1 {
+		t.Fatalf("reply handlers: %v", r.magics[1].HandlerCounts())
 	}
 	// Sharer recorded in the home's pointer pool.
 	d, err := r.prog.Layout.Decode(r.magics[0].PP.Mem, r.magics[0].Cfg.LocalLine(0x1000))

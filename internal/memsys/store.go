@@ -1,0 +1,47 @@
+package memsys
+
+// Store is the machine-wide data backing store: 8-byte words indexed by
+// physical address / 8, materialized in 64 KiB chunks on first write.
+// Machines are configured with the paper's memory sizes (megabytes per
+// node) but scaled-down workloads touch a small fraction of that, so a
+// dense []uint64 spends more host time zeroing memory at construction than
+// the simulation spends running. Untouched chunks read as zero, matching
+// the dense semantics exactly.
+type Store struct {
+	chunks [][]uint64
+}
+
+const (
+	storeChunkShift = 13 // 8 Ki words = 64 KiB per chunk
+	storeChunkWords = 1 << storeChunkShift
+)
+
+// NewStore creates a store covering the given number of words. No data
+// memory is allocated until it is written.
+func NewStore(words int) *Store {
+	n := (words + storeChunkWords - 1) >> storeChunkShift
+	return &Store{chunks: make([][]uint64, n)}
+}
+
+// Load returns word i. Reads of never-written chunks return zero without
+// materializing them.
+func (s *Store) Load(i uint64) uint64 {
+	c := s.chunks[i>>storeChunkShift]
+	if c == nil {
+		return 0
+	}
+	return c[i&(storeChunkWords-1)]
+}
+
+// Word returns a stable pointer to word i, materializing its chunk if
+// needed. Chunks are never moved or freed, so pointers taken before the
+// simulation starts (workload initialization) stay valid throughout.
+func (s *Store) Word(i uint64) *uint64 {
+	ci := i >> storeChunkShift
+	c := s.chunks[ci]
+	if c == nil {
+		c = make([]uint64, storeChunkWords)
+		s.chunks[ci] = c
+	}
+	return &c[i&(storeChunkWords-1)]
+}

@@ -169,6 +169,45 @@ func Classify(op Op) Class {
 	}
 }
 
+// StatDeltas returns the dynamic-statistics increments (Table 5.2) that one
+// executed instance of op contributes: the non-NOP instruction count, the
+// ALU-or-branch count, and the special-instruction count. It is the static
+// form of the per-instruction counting the emulator's reference interpreter
+// performs, so a predecoding backend can fold the increments of a whole
+// instruction pair into constants at program-load time.
+func StatDeltas(op Op) (instrs, aluBranch, special uint64) {
+	switch Classify(op) {
+	case ClassNop:
+		return 0, 0, 0
+	case ClassALU, ClassBranch:
+		return 1, 1, 0
+	case ClassSpecial, ClassBranchBit:
+		return 1, 1, 1
+	default: // ClassMem, ClassMagic
+		return 1, 0, 0
+	}
+}
+
+// RAWHazard reports whether b reads the register a writes. Dual-issue pair
+// semantics evaluate both slots against pre-pair register state; executing
+// the slots sequentially (a then b) is equivalent exactly when no such
+// read-after-write exists — WAR and WAW resolve identically either way,
+// since writes commit in slot order. The scheduler never emits RAW pairs
+// (pairable rejects them), so this is a load-time validity check for
+// predecoded backends, not a run-time concern.
+func RAWHazard(a, b *Instr) bool {
+	def := a.Def()
+	if def < 0 {
+		return false
+	}
+	for _, r := range b.Uses(nil) {
+		if r == def {
+			return true
+		}
+	}
+	return false
+}
+
 // IsControl reports whether op transfers control.
 func IsControl(op Op) bool {
 	switch op {

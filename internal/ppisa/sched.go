@@ -20,9 +20,12 @@ type Pair struct {
 	A, B Instr
 }
 
-// sideEffect reports whether op produces a post-commit action in the
-// emulator (control transfer, message send, or intervention wait).
-func sideEffect(op Op) bool {
+// SideEffect reports whether op produces a post-commit action in the
+// emulator (control transfer, message send, or intervention wait). The
+// scheduler admits at most one such instruction per pair, which is what
+// lets the compiled backend assume a unique pair action (compile.go falls
+// back to the reference interpreter for hand-built pairs that violate it).
+func SideEffect(op Op) bool {
 	return IsControl(op) || op == SEND || op == WAITPC
 }
 
@@ -339,7 +342,7 @@ func pairable(a, b *Instr) bool {
 	}
 	// At most one action-producing instruction (control transfer, SEND, or
 	// WAITPC) per pair, so the emulator's post-commit action is unique.
-	if sideEffect(a.Op) && sideEffect(b.Op) {
+	if SideEffect(a.Op) && SideEffect(b.Op) {
 		return false
 	}
 	// Register hazards within the pair.

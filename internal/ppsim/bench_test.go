@@ -1,0 +1,52 @@
+package ppsim
+
+import (
+	"testing"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/ppisa"
+	"flashsim/internal/protocol"
+)
+
+type nopEnv struct{}
+
+func (nopEnv) TrySend(OutHeader, uint64) bool      { return true }
+func (nopEnv) MemRead(uint64, uint64)              {}
+func (nopEnv) MemWrite(uint64, uint64)             {}
+func (nopEnv) MDCFill(uint64, bool, uint64) uint64 { return 29 }
+
+// BenchmarkHandlerDispatch compares the two execution engines on the
+// protocol's local-read handler, the most frequently dispatched handler in
+// the Fig 4.1 macrobenchmarks. Dispatch resolution (EntryPC) is hoisted out
+// of the loop, matching how MAGIC's interned jump table invokes the PP.
+// The compiled sub-benchmark must run allocation-free (asserted by
+// scripts/bench.sh).
+func BenchmarkHandlerDispatch(b *testing.B) {
+	cfg := arch.DefaultConfig()
+	prog, err := protocol.Build(&cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, backend := range [2]Backend{BackendInterp, BackendCompiled} {
+		b.Run(backend.String(), func(b *testing.B) {
+			pp := NewBackend(prog.Code, int(prog.Layout.MemBytes), NewMDC(cfg.MDCSize, cfg.MDCWays), nopEnv{}, backend)
+			prog.Layout.InitMemory(pp.Mem, 0, 0, 16)
+			if st, _ := pp.Start("pp_init"); st != StatusDone {
+				b.Fatal("pp_init blocked")
+			}
+			pp.InHeader(ppisa.HdrAddr, 0x8000)
+			pp.InHeader(ppisa.HdrDirOff, prog.Layout.DirOffset(0x8000>>7))
+			pc, err := pp.EntryPC("pi_get_local")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st, _ := pp.StartAt(pc); st != StatusDone {
+					b.Fatal("handler blocked")
+				}
+			}
+		})
+	}
+}

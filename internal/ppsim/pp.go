@@ -101,9 +101,15 @@ type PP struct {
 
 	Stats Stats
 
+	// backend selects the execution engine; code is the predecoded image
+	// when backend is BackendCompiled (see compile.go).
+	backend Backend
+	code    []cpair
+
 	// Execution state of the in-flight handler.
 	regs    [32]uint64
 	pc      int
+	nextPC  int // successor pair chosen by the compiled loop's current pair
 	running bool
 
 	inHdr  [ppisa.NumHdrFields]uint64
@@ -129,10 +135,24 @@ type PP struct {
 const maxHandlerPairs = 100000
 
 // New creates a PP executing prog with the given protocol memory size in
-// bytes.
+// bytes, using the process-default backend (DefaultBackend).
 func New(prog *ppisa.Program, memBytes int, mdc *MDC, env Env) *PP {
-	return &PP{Prog: prog, Mem: make([]uint64, memBytes/8), MDC: mdc, Env: env}
+	return NewBackend(prog, memBytes, mdc, env, DefaultBackend())
 }
+
+// NewBackend is New with an explicit execution backend. For BackendCompiled
+// the program is predecoded into the closure image executed by the
+// threaded-code loop — once per Program, shared by every PP built from it.
+func NewBackend(prog *ppisa.Program, memBytes int, mdc *MDC, env Env, b Backend) *PP {
+	p := &PP{Prog: prog, Mem: make([]uint64, memBytes/8), MDC: mdc, Env: env, backend: b}
+	if b == BackendCompiled {
+		p.code = compiledImage(prog)
+	}
+	return p
+}
+
+// Backend reports which execution engine this PP uses.
+func (p *PP) Backend() Backend { return p.backend }
 
 // InHeader sets incoming-message header field f (visible to MFH).
 func (p *PP) InHeader(f int, v uint64) { p.inHdr[f] = v }
@@ -145,15 +165,35 @@ func (p *PP) Reg(r int) uint64 { return p.regs[r] }
 // readable by the handler through MFH HdrPCKind after WAITPC.
 func (p *PP) SetPCResponse(kind uint64) { p.inHdr[ppisa.HdrPCKind] = kind }
 
+// EntryPC resolves a handler entry-point name to its pair index, for
+// callers (MAGIC's jump table) that intern entries once at protocol load
+// and dispatch by index afterwards. Unknown entries produce a descriptive
+// error naming the program's size so a protocol/jump-table mismatch is
+// diagnosable.
+func (p *PP) EntryPC(entry string) (int, error) {
+	pc, ok := p.Prog.Entries[entry]
+	if !ok {
+		return 0, fmt.Errorf("ppsim: no handler entry %q (program has %d entry points)", entry, len(p.Prog.Entries))
+	}
+	return pc, nil
+}
+
 // Start begins executing the handler named entry and runs until it blocks
 // or completes. It returns the status and the number of PP cycles consumed
 // (excluding stall time spent blocked on external events, which MAGIC
-// accounts separately).
+// accounts separately). Start is a convenience wrapper over EntryPC and
+// StartAt that panics on an unknown entry; dispatch hot paths resolve the
+// entry once and call StartAt.
 func (p *PP) Start(entry string) (Status, uint64) {
-	pc, ok := p.Prog.Entries[entry]
-	if !ok {
-		panic(fmt.Sprintf("ppsim: no handler %q", entry))
+	pc, err := p.EntryPC(entry)
+	if err != nil {
+		panic(err)
 	}
+	return p.StartAt(pc)
+}
+
+// StartAt is Start for a pre-resolved entry pair index (see EntryPC).
+func (p *PP) StartAt(pc int) (Status, uint64) {
 	p.pc = pc
 	p.running = true
 	p.hasPending = false
@@ -191,7 +231,20 @@ func (p *PP) Resume() (Status, uint64) {
 // Running reports whether a handler is in flight (blocked or mid-Resume).
 func (p *PP) Running() bool { return p.running }
 
+// run executes until the handler blocks or completes, via the selected
+// backend. Both backends produce bit-identical registers, protocol memory,
+// statistics, statuses, and cycle counts (enforced by the differential
+// torture test and the exp golden-digest regression).
 func (p *PP) run() (Status, uint64) {
+	if p.backend == BackendCompiled {
+		return p.runCompiled()
+	}
+	return p.runInterp()
+}
+
+// runInterp is the reference backend: it re-decodes each pair through the
+// eval switch on every execution.
+func (p *PP) runInterp() (Status, uint64) {
 	p.segCycles = 0
 	for {
 		if p.stepBudget <= 0 {

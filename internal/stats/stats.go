@@ -168,7 +168,7 @@ func Collect(m *core.Machine) Report {
 			if occ > ppMax {
 				ppMax = occ
 			}
-			for entry, h := range mg.Stats.HandlerLat {
+			for entry, h := range mg.HandlerLatencies() {
 				agg := r.HandlerLatency[entry]
 				if agg == nil {
 					agg = &trace.Histogram{}

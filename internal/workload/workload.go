@@ -1,6 +1,6 @@
 // Package workload is the execution-driven front end of the simulator — the
 // role Tango Lite played for FlashLite in the paper. Application threads
-// run as goroutines, issue memory references through a per-processor
+// run as coroutines, issue memory references through a per-processor
 // context, and are resumed in simulated-time order, so data values flow
 // through the machine in the order the simulated memory system completes
 // them. Synchronization primitives are built on simulated memory (test-and-
@@ -14,8 +14,8 @@ package workload
 
 import (
 	"fmt"
+	"iter"
 	"math"
-	"sync"
 
 	"flashsim/internal/arch"
 	"flashsim/internal/core"
@@ -30,7 +30,6 @@ type World struct {
 
 	bump   []arch.Addr // per-node page-aligned bump pointer
 	rrNext int
-	wg     sync.WaitGroup
 }
 
 // NewWorld creates the workload environment for a machine.
@@ -188,14 +187,13 @@ func (a *Array) Len() int {
 // --- thread contexts ---
 
 // Ctx is a simulated thread's interface to its processor. All methods must
-// be called from the thread's own goroutine.
+// be called from the thread's own coroutine (the fn passed to Run).
 type Ctx struct {
 	W  *World
 	ID int
 
-	refs   chan []cpu.Ref
-	done   chan struct{}
-	batch  []cpu.Ref // references issued but not yet handed to the CPU
+	yield  func([]cpu.Ref) bool // hands a batch to the CPU, parks until resumed
+	batch  []cpu.Ref            // references issued but not yet handed to the CPU
 	out    uint64
 	busy   uint32
 	senses map[*Barrier]uint64
@@ -212,30 +210,35 @@ const maxBatch = 256
 func (c *Ctx) Busy(n int) { c.busy += uint32(n) }
 
 // issue appends a non-blocking reference to the thread's pending batch.
-// The batch crosses the workload⇄cpu channel once, at the next blocking
+// The batch crosses the workload⇄cpu boundary once, at the next blocking
 // reference (or at capacity/exit), instead of once per reference.
 func (c *Ctx) issue(r cpu.Ref) {
 	r.Busy = c.busy + 1 // every reference is at least one instruction
 	c.busy = 0
 	c.batch = append(c.batch, r)
 	if len(c.batch) >= maxBatch {
-		c.refs <- c.batch
-		// The CPU consumes the flushed slice lazily; start a fresh one.
-		c.batch = make([]cpu.Ref, 0, maxBatch)
+		c.flush()
 	}
 }
 
+// flush hands the pending batch to the CPU and parks the thread until the
+// simulation wants more references. The CPU has consumed every element by
+// the time yield returns (batches are only refilled once exhausted, and a
+// blocking reference is always batch-final), so the slice is reused in
+// place.
+func (c *Ctx) flush() {
+	c.yield(c.batch)
+	c.batch = c.batch[:0]
+}
+
 // issueWait issues r and parks the thread until the simulated machine
-// completes it (reads and RMWs). The whole pending batch rides the same
-// channel crossing; once the done handshake fires the CPU has consumed
-// every element (r is last), so the slice is reused in place.
+// completes it (reads and RMWs): r rides at the end of the pending batch,
+// and the CPU resumes the coroutine only after r's done handshake fires.
 func (c *Ctx) issueWait(r cpu.Ref) {
 	c.issue(r)
 	if len(c.batch) > 0 {
-		c.refs <- c.batch
+		c.flush()
 	}
-	<-c.done
-	c.batch = c.batch[:0]
 }
 
 // ReadU loads the 8-byte word at a.
@@ -292,52 +295,64 @@ func (c *Ctx) Rand() uint64 {
 	return c.prng
 }
 
-// threadSource adapts a Ctx to cpu.RefSource: each receive delivers one
-// flushed batch.
-type threadSource struct{ c *Ctx }
-
-func (s threadSource) NextBatch() ([]cpu.Ref, bool) {
-	b, ok := <-s.c.refs
-	return b, ok
+// threadSource adapts a Ctx coroutine to cpu.RefSource. Each next() resumes
+// the thread until its next batch flush, by direct coroutine switch — no
+// scheduler round trip, no cross-processor wakeup. ReadDone (the completion
+// of a batch-final blocking reference) resumes the thread immediately; the
+// batch it produces is held pending for the NextBatch call that follows.
+type threadSource struct {
+	next       func() ([]cpu.Ref, bool)
+	pending    []cpu.Ref
+	pendingOK  bool
+	hasPending bool
 }
 
-func (s threadSource) ReadDone() { s.c.done <- struct{}{} }
+func (s *threadSource) NextBatch() ([]cpu.Ref, bool) {
+	if s.hasPending {
+		b, ok := s.pending, s.pendingOK
+		s.pending, s.hasPending = nil, false
+		return b, ok
+	}
+	return s.next()
+}
 
-// Run spawns one goroutine per processor executing fn(ctx) and runs the
+func (s *threadSource) ReadDone() {
+	s.pending, s.pendingOK = s.next()
+	s.hasPending = true
+}
+
+// Run runs one coroutine per processor executing fn(ctx) and runs the
 // machine to completion. limit bounds simulated cycles (0 = none).
+//
+// Threads used to be goroutines parked on a pair of unbuffered channels;
+// at simulation scale the park/unpark scheduler traffic cost more host time
+// than the simulation itself. iter.Pull's coroutine switch transfers
+// control directly, and the simulated behavior is identical either way:
+// resume order is decided by simulated time, never by the host scheduler.
 func (w *World) Run(fn func(*Ctx), limit uint64) error {
 	n := w.Cfg.Nodes
 	srcs := make([]cpu.RefSource, n)
 	for i := 0; i < n; i++ {
 		c := &Ctx{
 			W: w, ID: i,
-			refs:   make(chan []cpu.Ref),
-			done:   make(chan struct{}),
 			senses: make(map[*Barrier]uint64),
 			prng:   uint64(i)*0x9E3779B97F4A7C15 + 0x1234567,
 		}
-		srcs[i] = threadSource{c}
-		w.wg.Add(1)
-		go func(c *Ctx) {
-			defer w.wg.Done()
+		next, _ := iter.Pull(func(yield func([]cpu.Ref) bool) {
+			c.yield = yield
 			defer func() {
 				// Trailing non-blocking references still ride to the CPU
 				// before the stream ends.
 				if len(c.batch) > 0 {
-					c.refs <- c.batch
+					yield(c.batch)
 				}
-				close(c.refs)
 			}()
 			fn(c)
-		}(c)
+		})
+		srcs[i] = &threadSource{next: next}
 	}
-	err := w.M.Run(srcs, sim.Cycle(limit))
-	if err != nil {
-		// A deadlocked or over-limit machine leaves threads parked on their
-		// handshake channels; they are abandoned (the error is fatal to the
-		// simulation anyway).
-		return err
-	}
-	w.wg.Wait()
-	return nil
+	// A deadlocked or over-limit machine leaves thread coroutines parked in
+	// their yield; they are abandoned (the error is fatal to the simulation
+	// anyway). On success every source was drained, so every fn returned.
+	return w.M.Run(srcs, sim.Cycle(limit))
 }

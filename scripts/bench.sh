@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
-# Runs the simulator/workload microbenchmarks COUNT times (default 5) and
-# emits BENCH_sim.json with per-run ns/op, B/op, and allocs/op for each
-# benchmark, alongside the recorded seed-tree baseline so before/after is
-# visible in one file.
+# Runs the simulator/workload/ppsim microbenchmarks COUNT times (default 5)
+# and the Fig 4.1 macrobenchmarks MACRO_COUNT times (default 3) under both
+# PP dispatch backends, and emits BENCH_sim.json with per-run ns/op, B/op,
+# and allocs/op for each benchmark, alongside the recorded seed-tree
+# baseline so before/after is visible in one file.
 #
-# Usage:  scripts/bench.sh            # 5 runs -> BENCH_sim.json
-#         COUNT=3 OUT=/tmp/b.json scripts/bench.sh
+# Usage:  scripts/bench.sh            # -> BENCH_sim.json
+#         COUNT=3 MACRO_COUNT=1 OUT=/tmp/b.json scripts/bench.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
+MACRO_COUNT="${MACRO_COUNT:-3}"
 OUT="${OUT:-BENCH_sim.json}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAWC="$(mktemp)"
+RAWI="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWC" "$RAWI"' EXIT
 
 go test -run '^$' -bench . -benchmem -count "$COUNT" \
-	./internal/sim ./internal/workload | tee "$RAW"
+	./internal/sim ./internal/workload ./internal/ppsim | tee "$RAW"
 
 # The engine's hot loop must stay allocation-free: every BenchmarkEngine*
 # line must report 0 allocs/op, or the observability layer (or anything
@@ -24,6 +28,31 @@ awk '/^BenchmarkEngine/ && $7 != 0 {
 	printf "FAIL: %s reports %s allocs/op (want 0)\n", $1, $7; bad = 1
 }
 END { exit bad }' "$RAW" || { echo "bench.sh: engine allocation regression" >&2; exit 1; }
+
+# The compiled PP dispatch loop must be allocation-free in steady state: the
+# closure image is built once at program load, and executing handlers must
+# not allocate.
+awk '$1 ~ /^BenchmarkHandlerDispatch\/compiled/ && $7 != 0 {
+	printf "FAIL: %s reports %s allocs/op (want 0)\n", $1, $7; bad = 1
+}
+END { exit bad }' "$RAW" || { echo "bench.sh: compiled dispatch allocation regression" >&2; exit 1; }
+
+# Fig 4.1 macrobenchmarks under both PP dispatch backends. Simulated
+# flash_cycles must be bit-identical across backends (the golden-digest test
+# enforces the same property over whole applications).
+FLASHSIM_PP_DISPATCH=compiled go test -run '^$' -bench 'Fig41(FFT|LU|MP3D|Ocean)$' \
+	-count "$MACRO_COUNT" . | tee "$RAWC"
+FLASHSIM_PP_DISPATCH=interp go test -run '^$' -bench 'Fig41(FFT|LU|MP3D|Ocean)$' \
+	-count "$MACRO_COUNT" . | tee "$RAWI"
+
+cycles_of() {
+	awk '/^BenchmarkFig41/ { name = $1; sub(/-[0-9]+$/, "", name); print name, $5 }' "$1" | sort -u
+}
+if ! diff <(cycles_of "$RAWC") <(cycles_of "$RAWI") >/dev/null; then
+	echo "bench.sh: flash_cycles diverge between PP dispatch backends" >&2
+	diff <(cycles_of "$RAWC") <(cycles_of "$RAWI") >&2 || true
+	exit 1
+fi
 
 awk -v count="$COUNT" '
 /^pkg:/ { pkg = $2; sub(/^flashsim\/internal\//, "", pkg) }
@@ -39,7 +68,7 @@ awk -v count="$COUNT" '
 }
 END {
 	printf "{\n"
-	printf "  \"suite\": \"flashsim sim/workload microbenchmarks\",\n"
+	printf "  \"suite\": \"flashsim sim/workload/ppsim microbenchmarks + Fig 4.1 macros\",\n"
 	printf "  \"runs\": %d,\n", count
 	printf "  \"benchmarks\": {\n"
 	for (i = 1; i <= n; i++) {
@@ -50,9 +79,41 @@ END {
 	printf "  },\n"
 }' "$RAW" >"$OUT"
 
+macro_json() {
+	awk '
+	/^BenchmarkFig41/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+		ns[name] = ns[name] sep[name] $3
+		cyc[name] = $5
+		sep[name] = ","
+	}
+	END {
+		for (i = 1; i <= n; i++) {
+			k = order[i]
+			printf "      \"%s\": {\"ns_per_op\": [%s], \"flash_cycles\": %s}%s\n", \
+				k, ns[k], cyc[k], (i < n ? "," : "")
+		}
+	}' "$1"
+}
+
+{
+	printf '  "pp_dispatch": {\n'
+	printf '    "note": "Fig 4.1 macros under both PP emulator backends (FLASHSIM_PP_DISPATCH), %s runs each; flash_cycles are asserted bit-identical across backends",\n' "$MACRO_COUNT"
+	printf '    "compiled": {\n'
+	macro_json "$RAWC"
+	printf '    },\n'
+	printf '    "interp": {\n'
+	macro_json "$RAWI"
+	printf '    }\n'
+	printf '  },\n'
+} >>"$OUT"
+
 # Seed-tree baseline (commit 1dc46be, before the event-queue rewrite and
-# handshake batching), recorded once from the same host so the before/after
-# comparison survives in the artifact. flash_cycles must never change.
+# handshake batching) and the PR 1 optimized tree, both recorded once from
+# the same host so the before/after comparison survives in the artifact.
+# flash_cycles must never change.
 cat >>"$OUT" <<'EOF'
   "seed_baseline": {
     "note": "pre-optimization tree; exp macrobenchmarks at Scale 8, 5 runs; simulated cycle counts are bit-identical before and after by construction (golden-digest test)",
@@ -64,7 +125,7 @@ cat >>"$OUT" <<'EOF'
     "BenchmarkSimThroughput": {"ns_per_op_range": [142056390, 259865968], "allocs_per_op": 347552}
   },
   "optimized_reference": {
-    "note": "same macrobenchmarks on the optimized tree (allocation-free event queue + batched handshakes); identical flash_cycles, >=25% faster",
+    "note": "same macrobenchmarks on the PR 1 tree (allocation-free event queue + batched handshakes); identical flash_cycles, >=25% faster than seed",
     "BenchmarkFig41FFT":   {"ns_per_op_range": [821614478, 1319732764],  "allocs_per_op": 578901,  "flash_cycles": 208107},
     "BenchmarkFig41LU":    {"ns_per_op_range": [227919085, 248977685],   "allocs_per_op": 122776,  "flash_cycles": 106681},
     "BenchmarkFig41MP3D":  {"ns_per_op_range": [971415258, 1299683114],  "allocs_per_op": 4939595, "flash_cycles": 1368847},
