@@ -14,6 +14,9 @@ build:
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
 	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestGolden
+	FLASHSIM_ENGINE=sharded $(GO) test -count=1 ./internal/exp -run TestGolden
+	GOMAXPROCS=1 FLASHSIM_ENGINE=sharded $(GO) test -count=1 ./internal/exp -run TestGolden
+	$(GO) test -race ./internal/sim -run Sharded
 
 test:
 	$(GO) test ./...

@@ -32,6 +32,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations per experiment (0 = adaptive from GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit experiment results as a JSON array on stdout")
 	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
+	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
 	flag.Parse()
 
 	switch *ppDispatch {
@@ -43,6 +44,17 @@ func main() {
 		os.Setenv("FLASHSIM_PP_DISPATCH", *ppDispatch)
 	default:
 		fmt.Fprintf(os.Stderr, "flashexp: unknown pp-dispatch %q\n", *ppDispatch)
+		os.Exit(2)
+	}
+	switch *engine {
+	case "":
+		// Process default (FLASHSIM_ENGINE if already set, else sequential).
+	case "seq", "sharded":
+		// Same environment route as -pp-dispatch: experiments build their
+		// own machine configs deep inside exp.
+		os.Setenv("FLASHSIM_ENGINE", *engine)
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
 

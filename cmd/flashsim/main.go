@@ -39,6 +39,7 @@ func main() {
 	nospec := flag.Bool("nospec", false, "disable speculative memory reads")
 	ppmode := flag.String("ppmode", "dual", "PP mode: dual, single, dlx")
 	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
+	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
 	proto := flag.String("protocol", "dynptr", "coherence protocol: dynptr, bitvec")
 	membytes := flag.Int("membytes", 8<<20, "memory bytes per node")
 	jsonOut := flag.Bool("json", false, "emit the statistics report as JSON on stdout")
@@ -97,6 +98,16 @@ func main() {
 		cfg.PPDispatch = arch.PPDispatchInterp
 	default:
 		fatal("unknown pp-dispatch %q", *ppDispatch)
+	}
+	switch *engine {
+	case "":
+		// Leave EngineAuto: FLASHSIM_ENGINE if set, else sequential.
+	case "seq":
+		cfg.Engine = arch.EngineSeq
+	case "sharded":
+		cfg.Engine = arch.EngineSharded
+	default:
+		fatal("unknown engine %q", *engine)
 	}
 
 	m, err := core.New(cfg)

@@ -121,6 +121,31 @@ func (d PPDispatch) String() string {
 	return "auto"
 }
 
+// EngineKind selects the discrete-event engine backend. Both engines are
+// bit-identical in simulated behaviour; the choice only affects host-side
+// simulation speed (sim/sharded.go documents the lookahead argument).
+type EngineKind uint8
+
+const (
+	// EngineAuto defers to the process default: the FLASHSIM_ENGINE
+	// environment variable if set, the sequential engine otherwise.
+	EngineAuto EngineKind = iota
+	// EngineSeq forces the sequential reference engine.
+	EngineSeq
+	// EngineSharded forces the conservative parallel per-node-shard engine.
+	EngineSharded
+)
+
+func (e EngineKind) String() string {
+	switch e {
+	case EngineSeq:
+		return "seq"
+	case EngineSharded:
+		return "sharded"
+	}
+	return "auto"
+}
+
 // Protocol selects which coherence protocol program MAGIC runs — the
 // machine's flexibility in action.
 type Protocol uint8
@@ -164,6 +189,10 @@ type Config struct {
 	// PPDispatch selects the host-side PP execution engine (simulation
 	// speed only; simulated results are bit-identical across engines).
 	PPDispatch PPDispatch
+
+	// Engine selects the host-side discrete-event backend (simulation
+	// speed only; simulated results are bit-identical across engines).
+	Engine EngineKind
 
 	Timing Timing
 

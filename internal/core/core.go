@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 
 	"flashsim/internal/arch"
 	"flashsim/internal/cpu"
@@ -42,10 +43,11 @@ type Node struct {
 // Machine is a complete simulated multiprocessor.
 type Machine struct {
 	Cfg     arch.Config
-	Eng     *sim.Engine
+	Eng     sim.Backend
 	Net     *network.Network
 	Nodes   []*Node
 	Backing *memsys.Store // machine-wide data store, 8-byte words
+	Views   []*memsys.View
 	Prog    *protocol.Program
 
 	// Elapsed is the parallel execution time: the cycle at which the last
@@ -58,25 +60,62 @@ type Machine struct {
 	// via EnableOccSampling.
 	OccWindow sim.Cycle
 
-	running int
+	sharded   bool
+	shardBufs []*trace.Buffer
+
+	// Per-node finish records: each processor's completion is written into
+	// its own slot (disjoint across shards) and aggregated after Run.
+	finAt   []sim.Cycle
+	finDone []bool
+}
+
+// resolveEngine maps EngineAuto to the process default: the FLASHSIM_ENGINE
+// environment variable if set, the sequential engine otherwise.
+func resolveEngine(k arch.EngineKind) arch.EngineKind {
+	if k != arch.EngineAuto {
+		return k
+	}
+	switch os.Getenv("FLASHSIM_ENGINE") {
+	case "sharded":
+		return arch.EngineSharded
+	case "seq":
+		return arch.EngineSeq
+	}
+	return arch.EngineSeq
 }
 
 // SetTracer attaches tr to every component of the machine — processors,
 // controllers, memories, and the interconnect — replacing any previous
-// tracer (nil detaches). Call before Run. The tracer is per machine and is
-// used only from the machine's simulation goroutine, so concurrent machines
-// (exp.parallelMap) each carry their own without synchronization.
+// tracer (nil detaches). Call before Run.
+//
+// On the sequential engine every component shares tr directly. On the
+// sharded engine each node gets its own strided tracer writing to a
+// per-node buffer; Run merges the buffers into tr deterministically, so
+// concurrent shards never touch tr or its sink.
 func (m *Machine) SetTracer(tr *trace.Tracer) {
 	m.Tracer = tr
-	m.Net.Tr = tr
-	for _, n := range m.Nodes {
-		n.CPU.Tr = tr
-		n.Mem.SetTracer(tr, n.CPU.ID)
+	m.shardBufs = nil
+	nodeTr := func(i int) *trace.Tracer { return tr }
+	if m.sharded && tr.Active() {
+		n := len(m.Nodes)
+		m.shardBufs = make([]*trace.Buffer, n)
+		perNode := make([]*trace.Tracer, n)
+		for i := range m.shardBufs {
+			m.shardBufs[i] = &trace.Buffer{}
+			perNode[i] = trace.NewStrided(m.shardBufs[i], uint64(i), uint64(n))
+		}
+		nodeTr = func(i int) *trace.Tracer { return perNode[i] }
+	}
+	for i, n := range m.Nodes {
+		t := nodeTr(i)
+		n.CPU.Tr = t
+		n.Mem.SetTracer(t, n.CPU.ID)
+		m.Net.Port(n.CPU.ID, nil).Tr = t
 		if n.Magic != nil {
-			n.Magic.Tr = tr
+			n.Magic.Tr = t
 		}
 		if n.Ideal != nil {
-			n.Ideal.Tr = tr
+			n.Ideal.Tr = t
 		}
 	}
 }
@@ -117,10 +156,28 @@ func New(cfg arch.Config) (*Machine, error) {
 
 	m := &Machine{
 		Cfg:     cfg,
-		Eng:     sim.NewEngine(),
 		Backing: memsys.NewStore(cfg.Nodes * cfg.MemBytesPerNode / 8),
 	}
-	m.Net = network.New(m.Eng, cfg.Nodes, sim.Cycle(cfg.Timing.NetTransit))
+	// The lookahead window and the store-visibility quantum are both the
+	// network transit latency: the minimum cross-node interaction delay.
+	w := sim.Cycle(cfg.Timing.NetTransit)
+	switch resolveEngine(cfg.Engine) {
+	case arch.EngineSharded:
+		m.Eng = sim.NewShardedEngine(cfg.Nodes, w)
+		m.sharded = true
+	default:
+		m.Eng = sim.NewEngine()
+	}
+	m.Views = make([]*memsys.View, cfg.Nodes)
+	for i := range m.Views {
+		m.Views[i] = memsys.NewView(m.Backing)
+	}
+	m.Eng.SetQuantum(w, func() {
+		for _, v := range m.Views {
+			v.Flush()
+		}
+	})
+	m.Net = network.New(cfg.Nodes, w)
 
 	if cfg.Kind == arch.KindFLASH {
 		prog, err := protocol.Build(&m.Cfg)
@@ -132,22 +189,24 @@ func New(cfg arch.Config) (*Machine, error) {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		id := arch.NodeID(i)
+		sched := m.Eng.Node(i)
+		port := m.Net.Port(id, sched)
 		mem := memsys.New(m.Cfg.Timing)
 		n := &Node{Mem: mem}
 		switch cfg.Kind {
 		case arch.KindFLASH:
-			mg, err := magic.New(id, m.Eng, &m.Cfg, m.Prog, mem, m.Net)
+			mg, err := magic.New(id, sched, &m.Cfg, m.Prog, mem, port)
 			if err != nil {
 				return nil, err
 			}
 			n.Magic = mg
 			n.Ctl = mg
 		case arch.KindIdeal:
-			ic := ideal.New(id, m.Eng, &m.Cfg, mem, m.Net)
+			ic := ideal.New(id, sched, &m.Cfg, mem, port)
 			n.Ideal = ic
 			n.Ctl = ic
 		}
-		n.CPU = cpu.New(id, m.Eng, &m.Cfg, n.Ctl, m.Backing)
+		n.CPU = cpu.New(id, sched, &m.Cfg, n.Ctl, m.Views[i])
 		n.Ctl.Attach(n.CPU)
 		m.Net.Attach(id, n.Ctl)
 		m.Nodes = append(m.Nodes, n)
@@ -156,7 +215,8 @@ func New(cfg arch.Config) (*Machine, error) {
 }
 
 // Word returns a pointer to the backing-store word at addr, for untimed
-// initialization by workloads before the simulation starts.
+// initialization by workloads before the simulation starts (and for
+// verification afterwards — Run flushes every node's view on completion).
 func (m *Machine) Word(a arch.Addr) *uint64 { return m.Backing.Word(uint64(a) / 8) }
 
 // Run attaches one reference source per processor, runs the machine until
@@ -167,22 +227,41 @@ func (m *Machine) Run(sources []cpu.RefSource, limit sim.Cycle) error {
 	if len(sources) != len(m.Nodes) {
 		return fmt.Errorf("core: %d sources for %d processors", len(sources), len(m.Nodes))
 	}
-	m.running = len(sources)
+	m.finAt = make([]sim.Cycle, len(m.Nodes))
+	m.finDone = make([]bool, len(m.Nodes))
 	for i, n := range m.Nodes {
+		i := i
 		n.CPU.SetSource(sources[i], func(at sim.Cycle) {
-			m.running--
-			if at > m.Elapsed {
-				m.Elapsed = at
-			}
+			m.finDone[i] = true
+			m.finAt[i] = at
 		})
 		n.CPU.Start()
 	}
-	m.Eng.Limit = limit
-	if err := m.Eng.Run(); err != nil {
+	m.Eng.SetLimit(limit)
+	err := m.Eng.Run()
+	// Publish any writes still buffered in node views so post-run
+	// verification and coherence checks see the final memory image.
+	for _, v := range m.Views {
+		v.Flush()
+	}
+	if m.shardBufs != nil {
+		trace.MergeBuffers(m.Tracer, m.shardBufs)
+	}
+	if err != nil {
 		return err
 	}
-	if m.running != 0 {
-		return fmt.Errorf("core: deadlock: %d processors never finished (cycle %d)", m.running, m.Eng.Now())
+	running := 0
+	for i, done := range m.finDone {
+		if !done {
+			running++
+			continue
+		}
+		if m.finAt[i] > m.Elapsed {
+			m.Elapsed = m.finAt[i]
+		}
+	}
+	if running != 0 {
+		return fmt.Errorf("core: deadlock: %d processors never finished (cycle %d)", running, m.Eng.Now())
 	}
 	return nil
 }

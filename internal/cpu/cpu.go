@@ -120,6 +120,19 @@ type mshrEntry struct {
 
 	issuedAt sim.Cycle // virtual time the triggering reference missed
 	tid      uint64    // trace id of the miss-issue event (0 = untraced)
+
+	// stores holds the values of the triggering write and any writes
+	// merged into this exclusive miss, in program order. They apply to the
+	// backing view at fill — when the coherence protocol actually grants
+	// ownership — so that conflicting writes from different nodes reach
+	// the view in coherence order, which the window-quantized store
+	// visibility (memsys.View) relies on.
+	stores []pendingStore
+}
+
+type pendingStore struct {
+	addr arch.Addr
+	val  uint64
 }
 
 // CPU is one node's compute processor.
@@ -133,12 +146,12 @@ type CPU struct {
 	// machine (core.Machine.SetTracer); nil costs one branch per site.
 	Tr *trace.Tracer
 
-	eng   *sim.Engine
+	eng   sim.Scheduler
 	t     arch.Timing
 	cfg   *arch.Config
 	ctl   Ctl
 	src   RefSource
-	mem   *memsys.Store // machine backing store (shared; accessed only from the sim goroutine)
+	mem   *memsys.View // this node's window-quantized view of the backing store
 	chunk sim.Cycle
 
 	mshrs []mshrEntry
@@ -159,9 +172,9 @@ type CPU struct {
 	onFinish func(at sim.Cycle)
 }
 
-// New creates a CPU. mem is the machine-wide backing store (8-byte words
-// indexed by physical address / 8).
-func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, ctl Ctl, mem *memsys.Store) *CPU {
+// New creates a CPU. mem is this node's view of the machine-wide backing
+// store (8-byte words indexed by physical address / 8).
+func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, ctl Ctl, mem *memsys.View) *CPU {
 	return &CPU{
 		ID:    id,
 		Cache: NewCache(cfg.CacheSize, cfg.CacheWays),
@@ -272,9 +285,9 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 	if e := c.findMSHR(line); e >= 0 {
 		ent := &c.mshrs[e]
 		if ref.Kind == arch.RefWrite && ent.kind == arch.MsgGETX {
-			// Merge the write into the outstanding exclusive miss: apply the
-			// store now (it completes with the miss) and continue.
-			c.store(ref)
+			// Merge the write into the outstanding exclusive miss: the value
+			// queues behind the miss and applies at fill, in program order.
+			ent.stores = append(ent.stores, pendingStore{addr: ref.Addr, val: ref.WVal})
 			return true
 		}
 		// Reads (and RMWs, and writes behind a read miss) wait for the line.
@@ -314,7 +327,9 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 	// Allocate and issue.
 	e := c.allocMSHR()
 	ent := &c.mshrs[e]
+	stores := ent.stores[:0] // reuse the deferred-store buffer
 	*ent = mshrEntry{valid: true, line: line, ref: *ref, hasRef: true, issuedAt: vt}
+	ent.stores = stores
 	ent.kind = arch.MsgGETX
 	if ref.Kind == arch.RefRead {
 		ent.kind = arch.MsgGET
@@ -334,11 +349,12 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 		ent.waiting = true
 		return false
 	}
-	// Non-blocking write: the store value enters the backing store now, in
-	// program order with any later writes that merge into this MSHR. (The
-	// line becomes architecturally owned only at miss completion; applying
-	// the value at issue keeps same-word write ordering correct.)
-	c.store(ref)
+	// Non-blocking write: the store value queues on the MSHR and enters
+	// the backing view at fill, in program order with any later writes
+	// that merge into it. Applying at fill (ownership grant) rather than
+	// issue keeps cross-node same-word writes in coherence order, which
+	// the window-quantized store visibility requires.
+	ent.stores = append(ent.stores, pendingStore{addr: ref.Addr, val: ref.WVal})
 	return true
 }
 
@@ -461,7 +477,7 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 		case arch.RefRead:
 			c.load(&ent.ref)
 		case arch.RefWrite:
-			// Already applied at issue (see tryRef).
+			// Value is ent.stores[0]; applied below.
 		case arch.RefRMW:
 			c.rmw(&ent.ref)
 		}
@@ -470,6 +486,12 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 			consumed = true
 		}
 	}
+	// Apply the deferred stores (the triggering write plus merged writes),
+	// in program order, after any triggering RMW read its old value.
+	for _, ps := range ent.stores {
+		c.mem.Store(uint64(ps.addr)/8, ps.val)
+	}
+	ent.stores = ent.stores[:0]
 
 	waiting := ent.waiting
 	ent.valid = false
@@ -612,20 +634,20 @@ func (c *CPU) load(ref *Ref) {
 }
 
 func (c *CPU) store(ref *Ref) {
-	*c.mem.Word(uint64(ref.Addr) / 8) = ref.WVal
+	c.mem.Store(uint64(ref.Addr)/8, ref.WVal)
 }
 
 func (c *CPU) rmw(ref *Ref) {
-	w := c.mem.Word(uint64(ref.Addr) / 8)
-	old := *w
+	i := uint64(ref.Addr) / 8
+	old := c.mem.Load(i)
 	if ref.Out != nil {
 		*ref.Out = old
 	}
 	switch ref.RMW {
 	case RMWSwap:
-		*w = ref.WVal
+		c.mem.Store(i, ref.WVal)
 	case RMWAdd:
-		*w = old + ref.WVal
+		c.mem.Store(i, old+ref.WVal)
 	}
 }
 

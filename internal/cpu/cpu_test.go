@@ -60,7 +60,7 @@ func testCPU(t *testing.T, refs []Ref, nak int) (*CPU, *echoCtl, *sim.Engine) {
 	eng := sim.NewEngine()
 	ctl := &echoCtl{eng: eng, latency: 50, nakRem: nak}
 	mem := memsys.NewStore(cfg.MemBytesPerNode / 4)
-	c := New(0, eng, &cfg, ctl, mem)
+	c := New(0, eng, &cfg, ctl, memsys.NewView(mem))
 	ctl.cpu = c
 	c.SetSource(&scripted{refs: refs}, nil)
 	c.Start()
@@ -156,7 +156,7 @@ func TestMissClassification(t *testing.T) {
 		cfg.MemBytesPerNode = 1 << 20
 		eng := sim.NewEngine()
 		ctl := &echoCtl{eng: eng, latency: 30, aux: cse.aux}
-		c := New(0, eng, &cfg, ctl, memsys.NewStore(1<<18))
+		c := New(0, eng, &cfg, ctl, memsys.NewView(memsys.NewStore(1<<18)))
 		ctl.cpu = c
 		var out uint64
 		c.SetSource(&scripted{refs: []Ref{{Kind: arch.RefRead, Addr: cse.addr, Out: &out}}}, nil)

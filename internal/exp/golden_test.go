@@ -59,7 +59,7 @@ func TestGoldenDigest(t *testing.T) {
 		}
 		got[name] = goldenDigest{
 			Elapsed:  uint64(r.Report.Elapsed),
-			Executed: r.Machine.Eng.Executed,
+			Executed: r.Machine.Eng.ExecutedEvents(),
 		}
 	}
 
@@ -118,12 +118,42 @@ func TestGoldenBackendsAgree(t *testing.T) {
 			}
 			digests[d] = goldenDigest{
 				Elapsed:  uint64(r.Report.Elapsed),
-				Executed: r.Machine.Eng.Executed,
+				Executed: r.Machine.Eng.ExecutedEvents(),
 			}
 		}
 		if digests[arch.PPDispatchInterp] != digests[arch.PPDispatchCompiled] {
 			t.Errorf("%s: interp %+v != compiled %+v", name,
 				digests[arch.PPDispatchInterp], digests[arch.PPDispatchCompiled])
+		}
+	}
+}
+
+// TestGoldenEnginesAgree runs whole applications under both event-engine
+// backends and requires identical digests: the conservative parallel engine
+// must be a pure host-side optimization with no simulated-behavior
+// fingerprint. The per-event differential torture test lives in sim; this is
+// the end-to-end closure over full protocol runs.
+func TestGoldenEnginesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"fft", "lu", "radix"} {
+		digests := map[arch.EngineKind]goldenDigest{}
+		for _, e := range []arch.EngineKind{arch.EngineSeq, arch.EngineSharded} {
+			cfg := goldenConfig()
+			cfg.Engine = e
+			r, err := RunApp(name, cfg, apps.Params{Scale: goldenScales[name]}, true)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", name, e, err)
+			}
+			digests[e] = goldenDigest{
+				Elapsed:  uint64(r.Report.Elapsed),
+				Executed: r.Machine.Eng.ExecutedEvents(),
+			}
+		}
+		if digests[arch.EngineSeq] != digests[arch.EngineSharded] {
+			t.Errorf("%s: seq %+v != sharded %+v", name,
+				digests[arch.EngineSeq], digests[arch.EngineSharded])
 		}
 	}
 }

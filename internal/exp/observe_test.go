@@ -46,9 +46,9 @@ func TestTracingDoesNotPerturbSimulation(t *testing.T) {
 	if bare.Report.Elapsed != traced.Report.Elapsed {
 		t.Errorf("elapsed changed under tracing: %d vs %d", bare.Report.Elapsed, traced.Report.Elapsed)
 	}
-	if bare.Machine.Eng.Executed != traced.Machine.Eng.Executed {
+	if bare.Machine.Eng.ExecutedEvents() != traced.Machine.Eng.ExecutedEvents() {
 		t.Errorf("events executed changed under tracing: %d vs %d",
-			bare.Machine.Eng.Executed, traced.Machine.Eng.Executed)
+			bare.Machine.Eng.ExecutedEvents(), traced.Machine.Eng.ExecutedEvents())
 	}
 
 	// The traced run must still match the recorded golden digest.
@@ -66,7 +66,7 @@ func TestTracingDoesNotPerturbSimulation(t *testing.T) {
 	}
 	got := goldenDigest{
 		Elapsed:  uint64(traced.Report.Elapsed),
-		Executed: traced.Machine.Eng.Executed,
+		Executed: traced.Machine.Eng.ExecutedEvents(),
 	}
 	if got != w {
 		t.Errorf("%s traced digest %+v, want %+v", name, got, w)

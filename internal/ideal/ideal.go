@@ -56,13 +56,13 @@ type Stats struct {
 // Controller is one node's idealized controller.
 type Controller struct {
 	ID  arch.NodeID
-	Eng *sim.Engine
+	Eng sim.Scheduler
 	Cfg *arch.Config
 	T   arch.Timing
 
 	Mem *memsys.Memory
 	CPU *cpu.CPU
-	Net *network.Network
+	Net *network.Port
 
 	// Tr, when non-nil, receives a handler event per message processed.
 	// Injected per machine (core.Machine.SetTracer), replacing the old
@@ -79,7 +79,7 @@ type Controller struct {
 }
 
 // New builds an idealized controller; call Attach to wire the CPU.
-func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, mem *memsys.Memory, net *network.Network) *Controller {
+func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, mem *memsys.Memory, net *network.Port) *Controller {
 	t := cfg.Timing
 	return &Controller{
 		ID: id, Eng: eng, Cfg: cfg, T: t,

@@ -41,12 +41,12 @@ func newRig(t *testing.T, refs [2][]cpu.Ref) *rig {
 	cfg.MemBytesPerNode = 1 << 20
 	cfg.Timing = arch.IdealTiming()
 	r := &rig{eng: sim.NewEngine()}
-	net := network.New(r.eng, 2, 22)
+	net := network.New(2, 22)
 	mem := memsys.NewStore(1 << 18)
 	for i := 0; i < 2; i++ {
 		m := memsys.New(cfg.Timing)
-		c := New(arch.NodeID(i), r.eng, &cfg, m, net)
-		p := cpu.New(arch.NodeID(i), r.eng, &cfg, c, mem)
+		c := New(arch.NodeID(i), r.eng, &cfg, m, net.Port(arch.NodeID(i), r.eng))
+		p := cpu.New(arch.NodeID(i), r.eng, &cfg, c, memsys.NewView(mem))
 		c.Attach(p)
 		net.Attach(arch.NodeID(i), c)
 		r.ctls[i] = c

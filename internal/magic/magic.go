@@ -89,7 +89,7 @@ type handlerCtx struct {
 // Magic is one node's controller.
 type Magic struct {
 	ID  arch.NodeID
-	Eng *sim.Engine
+	Eng sim.Scheduler
 	Cfg *arch.Config
 	T   arch.Timing
 
@@ -97,7 +97,7 @@ type Magic struct {
 	PP   *ppsim.PP
 	Mem  *memsys.Memory
 	CPU  *cpu.CPU
-	Net  *network.Network
+	Net  *network.Port
 
 	PPOcc sim.OccupancyMeter
 	Stats Stats
@@ -149,7 +149,7 @@ const (
 // program's entry-point map are interned into a dense jump table here, so
 // an inconsistent protocol/program pairing fails at construction instead
 // of mid-simulation.
-func New(id arch.NodeID, eng *sim.Engine, cfg *arch.Config, prog *protocol.Program, mem *memsys.Memory, net *network.Network) (*Magic, error) {
+func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, prog *protocol.Program, mem *memsys.Memory, net *network.Port) (*Magic, error) {
 	m := &Magic{
 		ID:       id,
 		Eng:      eng,

@@ -44,16 +44,16 @@ func newRig(t *testing.T, cfg arch.Config, refs [2][]cpu.Ref) *rig {
 		t.Fatal(err)
 	}
 	r := &rig{eng: sim.NewEngine(), prog: prog}
-	net := network.New(r.eng, 2, 22)
+	net := network.New(2, 22)
 	mem := memsys.NewStore(1 << 18)
 	for i := 0; i < 2; i++ {
 		ms := memsys.New(cfg.Timing)
 		cfgCopy := cfg
-		mg, err := New(arch.NodeID(i), r.eng, &cfgCopy, prog, ms, net)
+		mg, err := New(arch.NodeID(i), r.eng, &cfgCopy, prog, ms, net.Port(arch.NodeID(i), r.eng))
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := cpu.New(arch.NodeID(i), r.eng, &cfgCopy, mg, mem)
+		p := cpu.New(arch.NodeID(i), r.eng, &cfgCopy, mg, memsys.NewView(mem))
 		mg.Attach(p)
 		net.Attach(arch.NodeID(i), mg)
 		r.magics[i] = mg

@@ -45,3 +45,55 @@ func (s *Store) Word(i uint64) *uint64 {
 	}
 	return &c[i&(storeChunkWords-1)]
 }
+
+// View is one node's window-quantized view of the backing store: writes
+// buffer in a private append log and publish to the shared Store only when
+// Flush runs (at lookahead-window boundaries, in node order, on the
+// engine's coordinating goroutine). Reads see the node's own unflushed
+// writes immediately — exact read-own-writes — while other nodes' writes
+// become visible at the next boundary.
+//
+// This quantization is what lets both engines agree bit-for-bit: during a
+// window no node can observe another node's in-window stores, so the
+// parallel engine's concurrent window execution is indistinguishable from
+// the sequential engine's interleaved one. It is safe for the simulated
+// programs because conflicting cross-node accesses to the same word are
+// serialized by the coherence protocol at least two network transits (two
+// windows) apart, and synchronization spin loops tolerate a bounded,
+// deterministic staleness of at most one window.
+type View struct {
+	s   *Store
+	log []writeRec
+}
+
+type writeRec struct {
+	idx uint64
+	val uint64
+}
+
+// NewView returns an empty write-buffering view of s.
+func NewView(s *Store) *View { return &View{s: s} }
+
+// Load returns word i as seen by this node: its own latest unflushed write
+// if any, else the shared store. The log stays short (a node's stores in
+// one window), so the backward scan is cheaper than a map.
+func (v *View) Load(i uint64) uint64 {
+	for j := len(v.log) - 1; j >= 0; j-- {
+		if v.log[j].idx == i {
+			return v.log[j].val
+		}
+	}
+	return v.s.Load(i)
+}
+
+// Store buffers a write of word i.
+func (v *View) Store(i, x uint64) { v.log = append(v.log, writeRec{idx: i, val: x}) }
+
+// Flush publishes buffered writes to the shared store in program order and
+// empties the log.
+func (v *View) Flush() {
+	for _, r := range v.log {
+		*v.s.Word(r.idx) = r.val
+	}
+	v.log = v.log[:0]
+}

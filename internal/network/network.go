@@ -4,9 +4,18 @@
 // of transit at 40 ns fall-through, and 3 cycles of header). Requests and
 // replies travel on separate virtual networks so that replies can always
 // make progress.
+//
+// Each node sends through its own Port. Ports are the only cross-node edge
+// in the simulator: a send turns into a Scheduler.Deliver on the source
+// node's shard, keyed by (source, per-port send sequence), which is what
+// makes delivery order — and therefore the whole simulation — deterministic
+// under the parallel engine. Message counters live on the port (single
+// writer: the owning node's events) and are summed on demand.
 package network
 
 import (
+	"fmt"
+
 	"flashsim/internal/arch"
 	"flashsim/internal/sim"
 	"flashsim/internal/trace"
@@ -22,55 +31,107 @@ type Sink interface {
 
 // Network delivers messages between nodes after a fixed transit latency.
 type Network struct {
-	eng     *sim.Engine
 	transit sim.Cycle
 	sinks   []Sink
+	ports   []*Port
+}
 
-	// Tr, when non-nil, receives a send/recv event pair per message.
-	// Injected per machine (core.Machine.SetTracer).
+// Port is node src's injection point into the network.
+type Port struct {
+	net   *Network
+	src   arch.NodeID
+	sched sim.Scheduler
+	seq   uint64 // monotonic send sequence; orders this port's deliveries
+
+	// Tr, when non-nil, receives the send half of each message's trace
+	// pair (the recv half is emitted through the destination port's
+	// tracer, since the arrival runs on the destination's shard). Injected
+	// per machine (core.Machine.SetTracer).
 	Tr *trace.Tracer
 
-	// Stats.
+	// Stats. Single-writer: only the owning node's events send.
 	Msgs      uint64
 	DataMsgs  uint64
 	ReplyMsgs uint64
 }
 
 // New creates a network for n nodes with the given transit latency.
-func New(eng *sim.Engine, n int, transit sim.Cycle) *Network {
-	return &Network{eng: eng, transit: transit, sinks: make([]Sink, n)}
+func New(n int, transit sim.Cycle) *Network {
+	return &Network{
+		transit: transit,
+		sinks:   make([]Sink, n),
+		ports:   make([]*Port, n),
+	}
 }
 
 // Attach registers the sink for node id.
 func (n *Network) Attach(id arch.NodeID, s Sink) { n.sinks[id] = s }
 
-// Send injects m at time `at` (which must be >= the engine's current time);
-// it is delivered to m.Dst after the transit latency.
-func (n *Network) Send(at sim.Cycle, m arch.Msg) {
-	n.Msgs++
+// Port returns node id's port, creating it bound to sched on first use.
+func (n *Network) Port(id arch.NodeID, sched sim.Scheduler) *Port {
+	if n.ports[id] == nil {
+		n.ports[id] = &Port{net: n, src: id, sched: sched}
+	}
+	return n.ports[id]
+}
+
+// Transit returns the fixed per-message transit latency.
+func (n *Network) Transit() sim.Cycle { return n.transit }
+
+// TotalMsgs sums messages sent across all ports.
+func (n *Network) TotalMsgs() uint64 { return n.total(func(p *Port) uint64 { return p.Msgs }) }
+
+// TotalDataMsgs sums data-carrying messages sent across all ports.
+func (n *Network) TotalDataMsgs() uint64 { return n.total(func(p *Port) uint64 { return p.DataMsgs }) }
+
+// TotalReplyMsgs sums reply messages sent across all ports.
+func (n *Network) TotalReplyMsgs() uint64 { return n.total(func(p *Port) uint64 { return p.ReplyMsgs }) }
+
+func (n *Network) total(f func(*Port) uint64) uint64 {
+	var t uint64
+	for _, p := range n.ports {
+		if p != nil {
+			t += f(p)
+		}
+	}
+	return t
+}
+
+// Send injects m at time `at` (which must be >= the owning node's current
+// time); it is delivered to m.Dst after the transit latency.
+func (p *Port) Send(at sim.Cycle, m arch.Msg) {
+	n := p.net
+	p.Msgs++
 	if m.Type.CarriesData() {
-		n.DataMsgs++
+		p.DataMsgs++
 	}
 	if m.Type.IsReply() {
-		n.ReplyMsgs++
+		p.ReplyMsgs++
 	}
 	dst := n.sinks[m.Dst]
 	if dst == nil {
-		panic("network: send to unattached node")
+		panic(fmt.Sprintf("network: send %s to unattached node %d", m.Type, m.Dst))
 	}
-	if n.Tr.Active() {
+	arrive := at + n.transit
+	p.seq++
+	if p.Tr.Active() {
 		// Each hop gets its own id, parented on the producing context, and
 		// becomes the causal parent of whatever its delivery triggers.
-		id := n.Tr.NewID()
-		n.Tr.Emit(trace.Event{
+		id := p.Tr.NewID()
+		p.Tr.Emit(trace.Event{
 			Cycle: uint64(at), Node: int32(m.Src), Kind: trace.KindMsgSend,
 			Addr: uint64(m.Addr), Arg: uint64(m.Dst), ID: id, Parent: m.TID,
 			Name: m.Type.String(),
 		})
 		m.TID = id
-		arrive := at + n.transit
-		n.eng.At(arrive, func() {
-			n.Tr.Emit(trace.Event{
+		// The arrival runs on the destination's shard, so the recv event
+		// goes through the destination port's tracer.
+		recvTr := p.Tr
+		if dp := n.ports[m.Dst]; dp != nil {
+			recvTr = dp.Tr
+		}
+		p.sched.Deliver(arrive, int(p.src), int(m.Dst), p.seq, func() {
+			recvTr.Emit(trace.Event{
 				Cycle: uint64(arrive), Node: int32(m.Dst), Kind: trace.KindMsgRecv,
 				Addr: uint64(m.Addr), ID: id, Name: m.Type.String(),
 			})
@@ -78,7 +139,7 @@ func (n *Network) Send(at sim.Cycle, m arch.Msg) {
 		})
 		return
 	}
-	n.eng.At(at+n.transit, func() { dst.FromNet(m) })
+	p.sched.Deliver(arrive, int(p.src), int(m.Dst), p.seq, func() { dst.FromNet(m) })
 }
 
 // AvgTransitFor returns the paper's average transit estimate for a p-node

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"fmt"
 	"testing"
 
 	"flashsim/internal/arch"
@@ -24,15 +25,16 @@ func (s *sink) FromNet(m arch.Msg) {
 
 func TestDeliveryLatencyAndOrder(t *testing.T) {
 	eng := sim.NewEngine()
-	n := New(eng, 2, 22)
+	n := New(2, 22)
+	p := n.Port(0, eng)
 	s := &sink{eng: eng}
 	n.Attach(0, s)
 	n.Attach(1, s)
 
 	a := arch.Msg{Type: arch.MsgGET, Dst: 1, Addr: 0x100}
 	b := arch.Msg{Type: arch.MsgPUT, Dst: 1, Addr: 0x200, DB: 0}
-	eng.At(5, func() { n.Send(5, a) })
-	eng.At(6, func() { n.Send(6, b) })
+	eng.At(5, func() { p.Send(5, a) })
+	eng.At(6, func() { p.Send(6, b) })
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
@@ -45,8 +47,11 @@ func TestDeliveryLatencyAndOrder(t *testing.T) {
 	if s.got[0].m.Addr != 0x100 {
 		t.Fatal("FIFO order violated")
 	}
-	if n.Msgs != 2 || n.DataMsgs != 1 || n.ReplyMsgs != 1 {
-		t.Fatalf("stats = %d/%d/%d", n.Msgs, n.DataMsgs, n.ReplyMsgs)
+	if p.Msgs != 2 || p.DataMsgs != 1 || p.ReplyMsgs != 1 {
+		t.Fatalf("port stats = %d/%d/%d", p.Msgs, p.DataMsgs, p.ReplyMsgs)
+	}
+	if n.TotalMsgs() != 2 || n.TotalDataMsgs() != 1 || n.TotalReplyMsgs() != 1 {
+		t.Fatalf("network stats = %d/%d/%d", n.TotalMsgs(), n.TotalDataMsgs(), n.TotalReplyMsgs())
 	}
 }
 
@@ -65,11 +70,18 @@ func TestAvgTransit(t *testing.T) {
 
 func TestUnattachedPanics(t *testing.T) {
 	eng := sim.NewEngine()
-	n := New(eng, 2, 22)
+	n := New(2, 22)
+	p := n.Port(0, eng)
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("send to unattached node did not panic")
 		}
+		// The message must name the offending node and message type.
+		want := fmt.Sprintf("network: send %s to unattached node %d", arch.MsgGET, 1)
+		if got, ok := r.(string); !ok || got != want {
+			t.Fatalf("panic %q, want %q", r, want)
+		}
 	}()
-	n.Send(0, arch.Msg{Dst: 1})
+	p.Send(0, arch.Msg{Type: arch.MsgGET, Dst: 1})
 }

@@ -1,17 +1,33 @@
 // Package sim provides the deterministic discrete-event simulation kernel
 // that underlies the FLASH system simulator. Components schedule closures at
-// future cycle times; the engine runs them in (cycle, insertion-order) order,
-// so simulations are bit-for-bit reproducible across runs.
+// future cycle times; an engine runs them in (cycle, key) order, so
+// simulations are bit-for-bit reproducible across runs.
 //
 // All times are expressed in 10 ns system clock cycles (the 100 MHz MAGIC
 // clock of the paper).
+//
+// Two engines implement the same reference semantics behind the Backend
+// interface: the sequential Engine in this file, and the conservative
+// parallel ShardedEngine in sharded.go. The event ordering rule shared by
+// both is encoded in each event's 64-bit key:
+//
+//   - network deliveries carry key = src<<40 | sendSeq (top bit clear), so
+//     at a given cycle all deliveries dispatch before locally scheduled
+//     events, ordered by (source node, per-source send order);
+//   - locally scheduled events carry key = 1<<63 | localSeq, preserving
+//     insertion order among themselves.
+//
+// This rule is what makes the parallel engine exact: a delivery's key is a
+// pure function of (source, send order), not of when the scheduling call
+// happened to interleave with other nodes' scheduling calls.
 //
 // The event queue is a monomorphic binary min-heap over []event — no
 // container/heap, no interface boxing, no per-event allocations — plus a
 // same-cycle FIFO: events scheduled for the current cycle bypass the heap
 // entirely and run in insertion order after any heap events already queued
 // for that cycle (which, having been scheduled earlier, precede them in the
-// global (cycle, insertion) order).
+// global (cycle, key) order; deliveries never land at the current cycle
+// because network transit is positive).
 package sim
 
 import "fmt"
@@ -19,21 +35,119 @@ import "fmt"
 // Cycle is a point in simulated time, in 10 ns system clock cycles.
 type Cycle uint64
 
+// localKeyBit marks a locally scheduled event's key; deliveries keep it
+// clear so they order first at a given cycle.
+const localKeyBit = uint64(1) << 63
+
+// deliverySeqBits is the width of the per-source send-sequence field in a
+// delivery key. 2^40 sends per source and 2^23 sources are far beyond any
+// simulated machine.
+const deliverySeqBits = 40
+
+// deliveryKey builds the heap key for a cross-node delivery.
+func deliveryKey(src int, seq uint64) uint64 {
+	return uint64(src)<<deliverySeqBits | seq&(1<<deliverySeqBits-1)
+}
+
 // Event is a scheduled callback.
 type event struct {
 	at  Cycle
-	seq uint64 // tie-break: FIFO among events at the same cycle
+	key uint64 // dispatch order among events at the same cycle; see package doc
 	fn  func()
 }
 
-// Engine is a discrete-event simulator. The zero value is not usable; create
-// one with NewEngine.
-type Engine struct {
+// Scheduler is the per-node scheduling surface components program against.
+// On the sequential engine every node shares one Scheduler (the Engine
+// itself); on the sharded engine each node gets its own shard.
+type Scheduler interface {
+	// Now returns the current simulated cycle of this node's clock.
+	Now() Cycle
+	// At schedules fn at absolute cycle t on this node (t >= Now).
+	At(t Cycle, fn func())
+	// After schedules fn d cycles from now on this node.
+	After(d Cycle, fn func())
+	// Deliver schedules a cross-node message arrival at cycle `at` on node
+	// dst. src and seq (monotonic per source) determine the deterministic
+	// dispatch order among same-cycle arrivals; `at` must be strictly in
+	// the future — in fact at least one lookahead window away, which the
+	// network's positive transit latency guarantees.
+	Deliver(at Cycle, src, dst int, seq uint64, fn func())
+	// Stop makes the engine's Run return; immediately for events on this
+	// node, at the current window barrier for other shards.
+	Stop()
+}
+
+// Backend is the machine-level engine surface: a set of per-node Schedulers
+// plus the run driver. Both the sequential Engine and the parallel
+// ShardedEngine implement it with identical simulated behaviour.
+type Backend interface {
+	Node(i int) Scheduler
+	Run() error
+	Stop()
+	SetLimit(Cycle)
+	// SetQuantum installs the store-visibility quantum: flush is invoked
+	// (on the coordinating goroutine) each time the global clock first
+	// enters a new window of q cycles. Machines use it to publish per-node
+	// write buffers at deterministic points; see memsys.View.
+	SetQuantum(q Cycle, flush func())
+	Now() Cycle
+	ExecutedEvents() uint64
+	Pending() int
+}
+
+// queue is one node's event population: the monomorphic heap plus the
+// same-cycle FIFO. The sequential Engine embeds one; each Shard of the
+// parallel engine embeds its own.
+type queue struct {
 	now     Cycle
 	seq     uint64
-	heap    []event  // future events, min-ordered by (at, seq)
+	heap    []event  // future events, min-ordered by (at, key)
 	fifo    []func() // events scheduled for the current cycle, in order
 	fifoPos int      // next undispatched fifo entry
+}
+
+// at schedules fn at absolute cycle t. Scheduling in the past (t < now)
+// panics: it always indicates a model bug. Scheduling at exactly now takes
+// the FIFO fast path: no heap sift, no key assignment.
+func (q *queue) at(t Cycle, fn func()) {
+	if t <= q.now {
+		if t == q.now {
+			q.fifo = append(q.fifo, fn)
+			return
+		}
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, q.now))
+	}
+	q.seq++
+	q.push(event{at: t, key: localKeyBit | q.seq, fn: fn})
+}
+
+// deliver enqueues a message arrival with the delivery key for (src, seq).
+func (q *queue) deliver(at Cycle, src int, seq uint64, fn func()) {
+	if at <= q.now {
+		panic(fmt.Sprintf("sim: delivery at %d not after now %d", at, q.now))
+	}
+	q.push(event{at: at, key: deliveryKey(src, seq), fn: fn})
+}
+
+// pending reports the number of undispatched events in this queue.
+func (q *queue) pending() int { return len(q.heap) + len(q.fifo) - q.fifoPos }
+
+// nextAt returns the cycle of the earliest undispatched event, if any.
+func (q *queue) nextAt() (Cycle, bool) {
+	if q.fifoPos < len(q.fifo) {
+		return q.now, true
+	}
+	if len(q.heap) > 0 {
+		return q.heap[0].at, true
+	}
+	return 0, false
+}
+
+// Engine is the sequential discrete-event simulator and the reference
+// implementation of Backend. The zero value is not usable; create one with
+// NewEngine.
+type Engine struct {
+	queue
 	stopped bool
 
 	// Executed counts events dispatched since construction; useful as a
@@ -42,9 +156,13 @@ type Engine struct {
 
 	// Limit, when nonzero, aborts Run with ErrLimit once the clock passes it.
 	Limit Cycle
+
+	quantum Cycle
+	flush   func()
+	curWin  Cycle
 }
 
-// ErrLimit is returned by Run when Engine.Limit is exceeded.
+// ErrLimit is returned by Run when the cycle limit is exceeded.
 var ErrLimit = fmt.Errorf("sim: cycle limit exceeded")
 
 // NewEngine returns an empty engine at cycle 0.
@@ -55,23 +173,33 @@ func NewEngine() *Engine {
 // Now returns the current simulated cycle.
 func (e *Engine) Now() Cycle { return e.now }
 
-// At schedules fn to run at absolute cycle t. Scheduling in the past (t <
-// Now) panics: it always indicates a model bug. Scheduling at exactly Now
-// takes the FIFO fast path: no heap sift, no seq assignment.
-func (e *Engine) At(t Cycle, fn func()) {
-	if t <= e.now {
-		if t == e.now {
-			e.fifo = append(e.fifo, fn)
-			return
-		}
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
-	}
-	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
-}
+// At schedules fn to run at absolute cycle t; see queue.at.
+func (e *Engine) At(t Cycle, fn func()) { e.at(t, fn) }
 
 // After schedules fn to run d cycles from now.
-func (e *Engine) After(d Cycle, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Cycle, fn func()) { e.at(e.now+d, fn) }
+
+// Deliver schedules a cross-node message arrival; dst is ignored by the
+// sequential engine, which holds every node's events in one queue.
+func (e *Engine) Deliver(at Cycle, src, dst int, seq uint64, fn func()) {
+	e.deliver(at, src, seq, fn)
+}
+
+// Node returns the Scheduler for node i: the engine itself, shared by all
+// nodes of a sequential machine.
+func (e *Engine) Node(i int) Scheduler { return e }
+
+// SetLimit sets the cycle limit (0 = none); equivalent to assigning Limit.
+func (e *Engine) SetLimit(l Cycle) { e.Limit = l }
+
+// ExecutedEvents returns the number of events dispatched since construction.
+func (e *Engine) ExecutedEvents() uint64 { return e.Executed }
+
+// SetQuantum installs the store-visibility quantum; see Backend.
+func (e *Engine) SetQuantum(q Cycle, flush func()) {
+	e.quantum = q
+	e.flush = flush
+}
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -89,8 +217,9 @@ func (e *Engine) Run() error {
 		return ErrLimit
 	}
 	for !e.stopped {
-		// Heap events at the current cycle were scheduled before any fifo
-		// entry for it, so they dispatch first.
+		// Heap events at the current cycle dispatch before fifo entries:
+		// deliveries by key rule, locals because they were scheduled before
+		// the cycle became current.
 		if len(e.heap) > 0 && e.heap[0].at == e.now {
 			fn := e.pop()
 			e.Executed++
@@ -119,42 +248,50 @@ func (e *Engine) Run() error {
 		if len(e.heap) == 0 {
 			return nil
 		}
-		e.now = e.heap[0].at
-		if e.Limit != 0 && e.now > e.Limit {
+		// Check the limit before advancing so Now never moves past a cycle
+		// that will not execute (the sharded engine behaves the same way).
+		if t := e.heap[0].at; e.Limit != 0 && t > e.Limit {
 			return ErrLimit
+		}
+		e.now = e.heap[0].at
+		if e.quantum != 0 {
+			if w := e.now / e.quantum; w > e.curWin {
+				e.curWin = w
+				e.flush()
+			}
 		}
 	}
 	return nil
 }
 
 // Pending reports the number of undispatched events.
-func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoPos }
+func (e *Engine) Pending() int { return e.pending() }
 
-// --- inlined min-heap over []event, ordered by (at, seq) ---
+// --- inlined min-heap over []event, ordered by (at, key) ---
 
-func (e *Engine) push(ev event) {
-	h := append(e.heap, ev)
+func (q *queue) push(ev event) {
+	h := append(q.heap, ev)
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2
-		if h[p].at < ev.at || (h[p].at == ev.at && h[p].seq < ev.seq) {
+		if h[p].at < ev.at || (h[p].at == ev.at && h[p].key < ev.key) {
 			break
 		}
 		h[i] = h[p]
 		i = p
 	}
 	h[i] = ev
-	e.heap = h
+	q.heap = h
 }
 
-func (e *Engine) pop() func() {
-	h := e.heap
+func (q *queue) pop() func() {
+	h := q.heap
 	fn := h[0].fn
 	n := len(h) - 1
 	last := h[n]
 	h[n] = event{} // release the closure
 	h = h[:n]
-	e.heap = h
+	q.heap = h
 	if n > 0 {
 		// Sift the former tail down from the root.
 		i := 0
@@ -165,11 +302,11 @@ func (e *Engine) pop() func() {
 			}
 			c := l
 			if r := l + 1; r < n {
-				if h[r].at < h[l].at || (h[r].at == h[l].at && h[r].seq < h[l].seq) {
+				if h[r].at < h[l].at || (h[r].at == h[l].at && h[r].key < h[l].key) {
 					c = r
 				}
 			}
-			if last.at < h[c].at || (last.at == h[c].at && last.seq < h[c].seq) {
+			if last.at < h[c].at || (last.at == h[c].at && last.key < h[c].key) {
 				break
 			}
 			h[i] = h[c]

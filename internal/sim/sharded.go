@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardedEngine is the conservative parallel discrete-event backend: the
+// event population is partitioned into one Shard per node, and all shards
+// execute concurrently over bounded windows of `window` cycles on a small
+// worker pool.
+//
+// The lookahead argument: cross-node interaction happens only through
+// Deliver with an arrival at least `window` cycles after the send (the
+// network transit latency), so events inside the window [k·W, (k+1)·W)
+// on different shards cannot affect each other — a send during window k
+// arrives in window k+1 at the earliest. Shards therefore run the whole
+// window without synchronization; cross-node arrivals accumulate in
+// per-(src,dst) outboxes and are merged into the destination heaps at the
+// window barrier by the coordinator. The merge is deterministic because a
+// delivery's heap position depends only on (arrival cycle, source node,
+// per-source send sequence) — never on the order outboxes are drained.
+//
+// With a worker-pool size of 1 (e.g. GOMAXPROCS=1) the same algorithm runs
+// entirely on the coordinating goroutine, shard 0..N-1 in order, and
+// produces identical results, which is what the differential tests pin.
+type ShardedEngine struct {
+	shards []*Shard
+	window Cycle
+	flush  func()
+	curWin Cycle
+	limit  Cycle
+
+	// Workers overrides the worker-pool size; 0 means
+	// min(len(shards), GOMAXPROCS). Exposed for differential tests.
+	Workers int
+
+	running bool
+	stopReq atomic.Bool
+
+	// Window barrier: the coordinator publishes winEnd/winLim/quit, resets
+	// done, and bumps phase; workers spin on phase, run their shards, and
+	// count themselves into done. The atomics carry the happens-before
+	// edges for everything written in between.
+	phase  atomic.Uint64
+	done   atomic.Int64
+	winEnd Cycle
+	winLim Cycle
+	quit   bool
+}
+
+// Shard is one node's slice of the event population. It implements
+// Scheduler; all of a node's components schedule through their shard.
+type Shard struct {
+	queue
+	id       int
+	eng      *ShardedEngine
+	executed uint64
+	stopped  bool
+	outbox   [][]delivery // per destination shard, drained at barriers
+}
+
+type delivery struct {
+	at  Cycle
+	key uint64
+	fn  func()
+}
+
+// NewShardedEngine returns a parallel engine with n shards and the given
+// lookahead window in cycles (the minimum cross-shard latency; a machine's
+// network transit). SetQuantum with a nonzero quantum overrides the window,
+// since the store-visibility quantum and the lookahead window are the same
+// quantity for a machine.
+func NewShardedEngine(n int, window Cycle) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	if window == 0 {
+		window = 1
+	}
+	e := &ShardedEngine{window: window}
+	e.shards = make([]*Shard, n)
+	for i := range e.shards {
+		e.shards[i] = &Shard{id: i, eng: e, outbox: make([][]delivery, n)}
+	}
+	return e
+}
+
+// Node returns node i's shard.
+func (e *ShardedEngine) Node(i int) Scheduler { return e.shards[i] }
+
+// SetLimit sets the cycle limit (0 = none).
+func (e *ShardedEngine) SetLimit(l Cycle) { e.limit = l }
+
+// SetQuantum installs the store-visibility flush and adopts q as the
+// lookahead window; see Backend.
+func (e *ShardedEngine) SetQuantum(q Cycle, flush func()) {
+	if q != 0 {
+		e.window = q
+	}
+	e.flush = flush
+}
+
+// Stop makes Run return at the current window barrier. Events already
+// inside the window on other shards still execute; the calling shard (when
+// Stop is invoked from a simulation event) halts immediately.
+func (e *ShardedEngine) Stop() { e.stopReq.Store(true) }
+
+// Now returns the globally latest shard clock: the cycle of the last event
+// dispatched anywhere, matching the sequential engine's clock.
+func (e *ShardedEngine) Now() Cycle {
+	var max Cycle
+	for _, s := range e.shards {
+		if s.now > max {
+			max = s.now
+		}
+	}
+	return max
+}
+
+// ExecutedEvents returns the total number of events dispatched across all
+// shards since construction.
+func (e *ShardedEngine) ExecutedEvents() uint64 {
+	var n uint64
+	for _, s := range e.shards {
+		n += s.executed
+	}
+	return n
+}
+
+// Pending reports undispatched events across all shards and outboxes.
+func (e *ShardedEngine) Pending() int {
+	n := 0
+	for _, s := range e.shards {
+		n += s.pending()
+		for _, box := range s.outbox {
+			n += len(box)
+		}
+	}
+	return n
+}
+
+// minNext returns the earliest undispatched event cycle across all shards.
+// Only valid at barriers, when outboxes are drained.
+func (e *ShardedEngine) minNext() (Cycle, bool) {
+	var min Cycle
+	ok := false
+	for _, s := range e.shards {
+		if t, has := s.nextAt(); has && (!ok || t < min) {
+			min, ok = t, true
+		}
+	}
+	return min, ok
+}
+
+// route drains every outbox into the destination shards. Single-threaded
+// (coordinator, at a barrier); the resulting heap order is independent of
+// drain order because (at, key) pairs are unique.
+func (e *ShardedEngine) route() {
+	for _, src := range e.shards {
+		for dst, box := range src.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			d := e.shards[dst]
+			for _, dl := range box {
+				d.push(event{at: dl.at, key: dl.key, fn: dl.fn})
+			}
+			// Reuse the backing array; nil the closures so they release.
+			clear(box)
+			src.outbox[dst] = box[:0]
+		}
+	}
+}
+
+// Run executes windows until every shard drains, Stop is called, or the
+// cycle limit is exceeded. Limit semantics match the sequential engine: an
+// event at exactly the limit runs; ErrLimit is returned when only events
+// beyond it remain.
+func (e *ShardedEngine) Run() error {
+	e.stopReq.Store(false)
+	for _, s := range e.shards {
+		s.stopped = false
+	}
+	if e.limit != 0 && e.Now() > e.limit {
+		return ErrLimit
+	}
+
+	n := len(e.shards)
+	p := e.Workers
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+
+	e.quit = false
+	e.running = true
+	var wg sync.WaitGroup
+	if p > 1 {
+		base := e.phase.Load()
+		for w := 1; w < p; w++ {
+			wg.Add(1)
+			go e.workerLoop(w, p, base, &wg)
+		}
+	}
+	defer func() {
+		if p > 1 {
+			e.quit = true
+			e.phase.Add(1)
+			wg.Wait()
+		}
+		e.running = false
+	}()
+
+	for {
+		t, ok := e.minNext()
+		if !ok {
+			return nil
+		}
+		if e.limit != 0 && t > e.limit {
+			return ErrLimit
+		}
+		win := t / e.window
+		if win > e.curWin {
+			e.curWin = win
+			if e.flush != nil {
+				e.flush()
+			}
+		}
+		end := (win + 1) * e.window
+		e.winEnd, e.winLim = end, e.limit
+
+		if p > 1 {
+			e.done.Store(0)
+			e.phase.Add(1)
+			for i := 0; i < n; i += p {
+				e.shards[i].runWindow(end, e.limit)
+			}
+			e.done.Add(1)
+			for spins := 0; e.done.Load() < int64(p); spins++ {
+				if spins > 256 {
+					runtime.Gosched()
+				}
+			}
+		} else {
+			for _, s := range e.shards {
+				s.runWindow(end, e.limit)
+			}
+		}
+
+		e.route()
+		if e.stopReq.Load() {
+			return nil
+		}
+	}
+}
+
+// workerLoop is one pool worker: it spins on the barrier phase, runs its
+// fixed stride of shards for the published window, and checks in.
+func (e *ShardedEngine) workerLoop(w, p int, last uint64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		for spins := 0; ; spins++ {
+			if ph := e.phase.Load(); ph != last {
+				last = ph
+				break
+			}
+			if spins > 256 {
+				runtime.Gosched()
+			}
+		}
+		if e.quit {
+			return
+		}
+		end, lim := e.winEnd, e.winLim
+		for i := w; i < len(e.shards); i += p {
+			e.shards[i].runWindow(end, lim)
+		}
+		e.done.Add(1)
+	}
+}
+
+// runWindow dispatches this shard's events with cycle < end (and, when lim
+// is nonzero, cycle <= lim), mirroring the sequential Run loop structure.
+func (s *Shard) runWindow(end, lim Cycle) {
+	for !s.stopped {
+		if len(s.heap) > 0 && s.heap[0].at == s.now {
+			fn := s.pop()
+			s.executed++
+			fn()
+			continue
+		}
+		if s.fifoPos < len(s.fifo) {
+			fn := s.fifo[s.fifoPos]
+			s.fifo[s.fifoPos] = nil
+			s.fifoPos++
+			if s.fifoPos >= 1024 && s.fifoPos*2 >= len(s.fifo) {
+				n := copy(s.fifo, s.fifo[s.fifoPos:])
+				clear(s.fifo[n:])
+				s.fifo = s.fifo[:n]
+				s.fifoPos = 0
+			}
+			s.executed++
+			fn()
+			continue
+		}
+		s.fifo = s.fifo[:0]
+		s.fifoPos = 0
+		if len(s.heap) == 0 {
+			return
+		}
+		t := s.heap[0].at
+		if t >= end {
+			return
+		}
+		if lim != 0 && t > lim {
+			return
+		}
+		s.now = t
+	}
+}
+
+// Now returns this shard's clock: the cycle of its last dispatched event.
+func (s *Shard) Now() Cycle { return s.now }
+
+// At schedules fn at absolute cycle t on this shard.
+func (s *Shard) At(t Cycle, fn func()) { s.at(t, fn) }
+
+// After schedules fn d cycles from this shard's now.
+func (s *Shard) After(d Cycle, fn func()) { s.at(s.now+d, fn) }
+
+// Stop halts this shard after the current event and makes Run return at
+// the window barrier.
+func (s *Shard) Stop() {
+	s.stopped = true
+	s.eng.stopReq.Store(true)
+}
+
+// Deliver routes a message arrival to shard dst. During a window the
+// delivery parks in this shard's outbox (merged at the barrier); outside
+// Run — e.g. test setup — it goes straight into the destination heap.
+// Arrivals inside the current window would violate the lookahead contract
+// and panic.
+func (s *Shard) Deliver(at Cycle, src, dst int, seq uint64, fn func()) {
+	e := s.eng
+	if !e.running {
+		e.shards[dst].deliver(at, src, seq, fn)
+		return
+	}
+	if at < e.winEnd {
+		panic(fmt.Sprintf("sim: sharded delivery at %d inside window ending %d (transit below lookahead window)", at, e.winEnd))
+	}
+	s.outbox[dst] = append(s.outbox[dst], delivery{at: at, key: deliveryKey(src, seq), fn: fn})
+}

@@ -218,7 +218,7 @@ func Collect(m *core.Machine) Report {
 			r.MDCFillsOfMemOps = float64(mdcM) / float64(r.MemAccesses)
 		}
 	}
-	r.NetMsgs = m.Net.Msgs
+	r.NetMsgs = m.Net.TotalMsgs()
 	return r
 }
 

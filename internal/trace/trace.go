@@ -123,10 +123,23 @@ type Sink interface {
 type Tracer struct {
 	sink   Sink
 	nextID uint64
+	step   uint64 // id stride; 1 for plain tracers
 }
 
 // New returns a tracer writing to sink.
-func New(sink Sink) *Tracer { return &Tracer{sink: sink} }
+func New(sink Sink) *Tracer { return &Tracer{sink: sink, step: 1} }
+
+// NewStrided returns a tracer whose ids walk the arithmetic sequence
+// offset+step, offset+2·step, … — so per-node tracers on the parallel
+// engine (node i of n gets offset i, step n) mint globally unique causal
+// ids without synchronization, and the ids depend only on each node's own
+// emission order.
+func NewStrided(sink Sink, offset, step uint64) *Tracer {
+	if step == 0 {
+		step = 1
+	}
+	return &Tracer{sink: sink, nextID: offset, step: step}
+}
 
 // Active reports whether emitting is worthwhile; safe on a nil tracer.
 // Components guard multi-field Event construction with Active so a disabled
@@ -138,7 +151,10 @@ func (t *Tracer) NewID() uint64 {
 	if t == nil {
 		return 0
 	}
-	t.nextID++
+	if t.step == 0 {
+		t.step = 1 // zero-value Tracer compatibility
+	}
+	t.nextID += t.step
 	return t.nextID
 }
 
