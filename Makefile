@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build verify test bench exp clean
+.PHONY: all build verify test bench exp profile clean
 
 all: build
 
@@ -10,13 +10,17 @@ build:
 # Tier-1 verify line (keep in sync with ROADMAP.md), plus a race-detector
 # pass over the concurrent experiment driver, plus the exp golden digests
 # under the interpreter PP backend (the default test run covers the compiled
-# backend), so neither dispatch path can rot.
+# backend), so neither dispatch path can rot. The metrics passes pin the
+# observability layer: registry instruments exact under the race detector,
+# and metrics-enabled runs cycle-identical to the golden digests.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
 	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestGolden
 	FLASHSIM_ENGINE=sharded $(GO) test -count=1 ./internal/exp -run TestGolden
 	GOMAXPROCS=1 FLASHSIM_ENGINE=sharded $(GO) test -count=1 ./internal/exp -run TestGolden
 	$(GO) test -race ./internal/sim -run Sharded
+	$(GO) test -race ./internal/metrics
+	$(GO) test -count=1 ./internal/exp -run TestMetrics
 
 test:
 	$(GO) test ./...
@@ -28,6 +32,11 @@ bench:
 # Full experiment suite in benchmark form, one iteration each.
 exp:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Host-performance report: where does the simulator's own wall time go?
+# Per-shard window-exec/barrier shares, outbox drain, merge, GC accounting.
+profile:
+	$(GO) run ./cmd/flashexp profile -scale 4
 
 clean:
 	$(GO) clean ./...

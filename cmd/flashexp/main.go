@@ -4,8 +4,10 @@
 // Usage:
 //
 //	flashexp [-scale N] [-procs N] [-noverify] [-parallel N]
-//	         [-pp-dispatch compiled|interp] <experiment>...
+//	         [-pp-dispatch compiled|interp] [-metrics] [-metrics-out f]
+//	         [-pprof dir] <experiment>...
 //	flashexp all
+//	flashexp profile [-scale N] [-procs N] [-noverify] [-metrics-out f] [-pprof dir]
 //
 // Experiments: table3.3 table3.4 fig4.1 fig4.2 fig4.3 sec4.3 sec4.5
 // table5.1 table5.1small sec5.2 table5.2 table5.3 sec5.3
@@ -13,6 +15,11 @@
 // -scale multiplies every application's problem-size divisor; -scale 1 runs
 // the paper's sizes (slow), the default 4 finishes the full suite in
 // minutes.
+//
+// The profile subcommand runs the Figure 4.1 applications on the sharded
+// engine with host-side self-profiling and prints where the simulator's own
+// wall time goes: per-shard window-execution and barrier-wait shares, outbox
+// drain and merge cost, and per-app allocation/GC accounting.
 package main
 
 import (
@@ -22,10 +29,16 @@ import (
 	"os"
 	"time"
 
+	"flashsim/internal/cliutil"
 	"flashsim/internal/exp"
+	"flashsim/internal/metrics"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		profileMain(os.Args[2:])
+		return
+	}
 	scale := flag.Int("scale", 4, "problem size divisor (1 = paper sizes)")
 	procs := flag.Int("procs", 0, "override processor count (0 = paper defaults)")
 	noverify := flag.Bool("noverify", false, "skip result verification after runs")
@@ -33,7 +46,21 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit experiment results as a JSON array on stdout")
 	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
 	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
+	metricsOn := flag.Bool("metrics", false, "collect host-side metrics; prints per-experiment host totals to stderr")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (implies -metrics)")
+	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
+
+	stdoutUser := ""
+	if *jsonOut {
+		stdoutUser = "-json"
+	}
+	if err := cliutil.DistinctOutputs(stdoutUser,
+		cliutil.OutputFlag{Flag: "-metrics-out", Path: *metricsOut},
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp: %v\n", err)
+		os.Exit(2)
+	}
 
 	switch *ppDispatch {
 	case "":
@@ -111,6 +138,17 @@ func main() {
 		}
 	}
 
+	prof, err := cliutil.StartPprof(*pprofDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp: pprof: %v\n", err)
+		os.Exit(1)
+	}
+	var reg *metrics.Registry
+	if *metricsOn || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+	}
+	hostBefore := metrics.ReadHost()
+
 	type result struct {
 		Name        string  `json:"name"`
 		WallSeconds float64 `json:"wall_seconds"`
@@ -125,12 +163,29 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start).Seconds()
+		reg.Gauge("flashexp_experiment_wall_ns", "exp", e.name).Set(wall1e9(wall))
 		if *jsonOut {
 			results = append(results, result{Name: e.name, WallSeconds: wall, Output: out})
 			fmt.Fprintf(os.Stderr, "flashexp: %s done (%.1fs)\n", e.name, wall)
 			continue
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, wall, out)
+	}
+	if reg != nil {
+		host := metrics.ReadHost().Sub(hostBefore)
+		host.Publish(reg, "flashexp_host")
+		fmt.Fprintf(os.Stderr, "flashexp: host totals: wall %.1fs, %d MB allocated, %d GC cycles, %.1fms GC pause\n",
+			float64(host.WallNS)/1e9, host.AllocBytes>>20, host.GCCycles, float64(host.GCPauseNS)/1e6)
+		if *metricsOut != "" {
+			if err := writeSnapshot(reg, *metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "flashexp: metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp: pprof: %v\n", err)
+		os.Exit(1)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -139,5 +194,72 @@ func main() {
 			fmt.Fprintf(os.Stderr, "flashexp: json: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+func wall1e9(s float64) int64 { return int64(s * 1e9) }
+
+// writeSnapshot dumps the registry as indented JSON into path.
+func writeSnapshot(reg *metrics.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// profileMain is the `flashexp profile` subcommand: the Figure 4.1 suite on
+// the sharded engine with host-side self-profiling.
+func profileMain(args []string) {
+	fs := flag.NewFlagSet("flashexp profile", flag.ExitOnError)
+	scale := fs.Int("scale", 4, "problem size divisor (1 = paper sizes)")
+	procs := fs.Int("procs", 0, "override processor count (0 = paper defaults)")
+	noverify := fs.Bool("noverify", false, "skip result verification after runs")
+	metricsOut := fs.String("metrics-out", "", "write the merged metrics snapshots as JSON to this file")
+	pprofDir := fs.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "flashexp profile: unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+
+	prof, err := cliutil.StartPprof(*pprofDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp profile: pprof: %v\n", err)
+		os.Exit(1)
+	}
+	o := exp.Options{Scale: *scale, Verify: !*noverify, Procs: *procs}
+	profs, err := exp.ProfileApps(o, exp.Fig41Apps())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp profile: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(exp.RenderProfiles(profs))
+	if *metricsOut != "" {
+		snaps := map[string]metrics.Snapshot{}
+		for _, p := range profs {
+			snaps[p.App] = p.Registry.Snapshot()
+		}
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(snaps)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp profile: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp profile: pprof: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -7,11 +7,18 @@
 //	         [-scale 4] [-placement rr|ft|node0] [-nospec] [-ppmode dual|single|dlx]
 //	         [-pp-dispatch compiled|interp] [-json] [-trace out.jsonl]
 //	         [-trace-format jsonl|chrome] [-occ-window N]
+//	         [-metrics] [-metrics-out metrics.json] [-pprof dir]
 //
 // -json prints the statistics report as JSON on stdout (progress goes to
 // stderr). -trace streams every simulation event to the named file, either as
 // JSON Lines (one event per line) or, with -trace-format chrome, as a Chrome
 // trace-event file loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// -metrics prints the engine's host-cost attribution (window execution,
+// barrier wait, outbox drain, merge) to stderr after the run; -metrics-out
+// additionally writes the full metrics registry snapshot as JSON. Both are
+// purely observational: simulated cycles are bit-identical with metrics on
+// or off. -pprof captures cpu.pprof and heap.pprof into the given directory.
 package main
 
 import (
@@ -22,7 +29,9 @@ import (
 
 	"flashsim/internal/apps"
 	"flashsim/internal/arch"
+	"flashsim/internal/cliutil"
 	"flashsim/internal/core"
+	"flashsim/internal/metrics"
 	"flashsim/internal/sim"
 	"flashsim/internal/stats"
 	"flashsim/internal/trace"
@@ -46,7 +55,21 @@ func main() {
 	traceFile := flag.String("trace", "", "write a simulation event trace to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome")
 	occWindow := flag.Uint64("occ-window", 0, "sample memory/PP occupancy per window of N cycles (0 = off)")
+	metricsOn := flag.Bool("metrics", false, "collect host-side metrics and print the engine profile to stderr")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (implies -metrics)")
+	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	flag.Parse()
+
+	stdoutUser := ""
+	if *jsonOut {
+		stdoutUser = "-json"
+	}
+	if err := cliutil.DistinctOutputs(stdoutUser,
+		cliutil.OutputFlag{Flag: "-trace", Path: *traceFile},
+		cliutil.OutputFlag{Flag: "-metrics-out", Path: *metricsOut},
+	); err != nil {
+		fatal("%v", err)
+	}
 
 	cfg := arch.DefaultConfig()
 	cfg.Nodes = *procs
@@ -110,9 +133,19 @@ func main() {
 		fatal("unknown engine %q", *engine)
 	}
 
+	prof, err := cliutil.StartPprof(*pprofDir)
+	if err != nil {
+		fatal("pprof: %v", err)
+	}
+	hostBefore := metrics.ReadHost()
 	m, err := core.New(cfg)
 	if err != nil {
 		fatal("%v", err)
+	}
+	var reg *metrics.Registry
+	if *metricsOn || *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		m.EnableMetrics(reg)
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -153,6 +186,29 @@ func main() {
 		fatal("coherence: %v", err)
 	}
 	r := stats.Collect(m)
+	if reg != nil {
+		host := metrics.ReadHost().Sub(hostBefore)
+		r.Host = &host
+		host.Publish(reg, "flashsim_host")
+		if p := m.Eng.Profile(); p != nil {
+			fmt.Fprint(os.Stderr, p.String())
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal("metrics: %v", err)
+			}
+			if err := reg.WriteJSON(f); err != nil {
+				fatal("metrics: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatal("metrics: %v", err)
+			}
+		}
+	}
+	if err := prof.Stop(); err != nil {
+		fatal("pprof: %v", err)
+	}
 	if *jsonOut {
 		fmt.Fprintf(os.Stderr, "%s on %s (scale 1/%d): verified OK, wall %.1fs\n",
 			*app, *machine, *scale, time.Since(start).Seconds())

@@ -1,0 +1,93 @@
+// Package cliutil holds small helpers shared by the flashsim and flashexp
+// command-line tools: output-path collision checks and pprof capture.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+)
+
+// OutputFlag names one flag that writes a file.
+type OutputFlag struct {
+	Flag string // flag name, for error messages (e.g. "-json")
+	Path string // the value the user gave; "" means the flag is unused
+}
+
+// DistinctOutputs rejects configurations in which two output flags would
+// clobber each other's file, or a file output would collide with results
+// already going to standard output. stdoutUser names the output that owns
+// stdout ("" if stdout is free). Paths are compared after filepath.Clean;
+// "-" and "/dev/stdout" count as stdout.
+func DistinctOutputs(stdoutUser string, flags ...OutputFlag) error {
+	seen := map[string]string{}
+	for _, f := range flags {
+		if f.Path == "" {
+			continue
+		}
+		if f.Path == "-" || f.Path == "/dev/stdout" {
+			if stdoutUser != "" {
+				return fmt.Errorf("%s: %q would interleave with %s output already on stdout; pick a file path", f.Flag, f.Path, stdoutUser)
+			}
+			stdoutUser = f.Flag
+			continue
+		}
+		p := filepath.Clean(f.Path)
+		if prev, ok := seen[p]; ok {
+			return fmt.Errorf("%s and %s both write %q; give each its own path", prev, f.Flag, p)
+		}
+		seen[p] = f.Flag
+	}
+	return nil
+}
+
+// Pprof is an in-flight CPU+heap profile capture; create with StartPprof.
+type Pprof struct {
+	cpu  *os.File
+	heap string
+}
+
+// StartPprof begins CPU profiling into dir/cpu.pprof and arranges for a
+// heap profile at dir/heap.pprof on Stop. An empty dir disables capture and
+// returns a nil Pprof, on which Stop is a no-op.
+func StartPprof(dir string) (*Pprof, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Pprof{cpu: f, heap: filepath.Join(dir, "heap.pprof")}, nil
+}
+
+// Stop ends CPU profiling and writes the heap profile. Safe on nil.
+func (p *Pprof) Stop() error {
+	if p == nil {
+		return nil
+	}
+	pprof.StopCPUProfile()
+	err := p.cpu.Close()
+	f, herr := os.Create(p.heap)
+	if herr != nil {
+		if err == nil {
+			err = herr
+		}
+		return err
+	}
+	if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+		err = werr
+	}
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,98 @@
+package cliutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDistinctOutputsAllowsDisjointPaths(t *testing.T) {
+	err := DistinctOutputs("-json",
+		OutputFlag{Flag: "-trace", Path: "out/trace.jsonl"},
+		OutputFlag{Flag: "-metrics-out", Path: "out/metrics.json"},
+	)
+	if err != nil {
+		t.Fatalf("disjoint paths rejected: %v", err)
+	}
+}
+
+func TestDistinctOutputsIgnoresUnset(t *testing.T) {
+	if err := DistinctOutputs("", OutputFlag{Flag: "-trace"}, OutputFlag{Flag: "-metrics-out"}); err != nil {
+		t.Fatalf("unset flags rejected: %v", err)
+	}
+}
+
+func TestDistinctOutputsRejectsSamePath(t *testing.T) {
+	err := DistinctOutputs("",
+		OutputFlag{Flag: "-trace", Path: "out.json"},
+		OutputFlag{Flag: "-metrics-out", Path: "./out.json"},
+	)
+	if err == nil {
+		t.Fatal("same path (modulo Clean) accepted")
+	}
+	for _, want := range []string{"-trace", "-metrics-out", "out.json"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestDistinctOutputsRejectsStdoutCollision(t *testing.T) {
+	for _, path := range []string{"-", "/dev/stdout"} {
+		err := DistinctOutputs("-json", OutputFlag{Flag: "-metrics-out", Path: path})
+		if err == nil {
+			t.Fatalf("path %q accepted while -json owns stdout", path)
+		}
+		if !strings.Contains(err.Error(), "-json") || !strings.Contains(err.Error(), "-metrics-out") {
+			t.Errorf("error %q does not name both flags", err)
+		}
+	}
+	// With stdout free, one "-" output is fine; a second one is not.
+	if err := DistinctOutputs("", OutputFlag{Flag: "-metrics-out", Path: "-"}); err != nil {
+		t.Fatalf("lone stdout output rejected: %v", err)
+	}
+	err := DistinctOutputs("",
+		OutputFlag{Flag: "-trace", Path: "-"},
+		OutputFlag{Flag: "-metrics-out", Path: "-"},
+	)
+	if err == nil {
+		t.Fatal("two stdout outputs accepted")
+	}
+}
+
+func TestPprofCapture(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartPprof(dir)
+	if err != nil {
+		t.Fatalf("StartPprof: %v", err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := p.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestPprofNilSafe(t *testing.T) {
+	p, err := StartPprof("")
+	if err != nil || p != nil {
+		t.Fatalf("StartPprof(\"\") = %v, %v; want nil, nil", p, err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatalf("nil Stop: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"flashsim/internal/ideal"
 	"flashsim/internal/magic"
 	"flashsim/internal/memsys"
+	"flashsim/internal/metrics"
 	"flashsim/internal/network"
 	"flashsim/internal/protocol"
 	"flashsim/internal/sim"
@@ -56,6 +57,10 @@ type Machine struct {
 
 	// Tracer is the machine's event tracer (nil = off); set via SetTracer.
 	Tracer *trace.Tracer
+	// Metrics is the machine's metrics registry (nil = off); set via
+	// EnableMetrics. Run publishes machine counters and the engine's
+	// host-cost profile into it on completion.
+	Metrics *metrics.Registry
 	// OccWindow is the occupancy sampling window in cycles (0 = off); set
 	// via EnableOccSampling.
 	OccWindow sim.Cycle
@@ -248,6 +253,7 @@ func (m *Machine) Run(sources []cpu.RefSource, limit sim.Cycle) error {
 		trace.MergeBuffers(m.Tracer, m.shardBufs)
 	}
 	if err != nil {
+		m.publishMetrics()
 		return err
 	}
 	running := 0
@@ -260,6 +266,7 @@ func (m *Machine) Run(sources []cpu.RefSource, limit sim.Cycle) error {
 			m.Elapsed = m.finAt[i]
 		}
 	}
+	m.publishMetrics()
 	if running != 0 {
 		return fmt.Errorf("core: deadlock: %d processors never finished (cycle %d)", running, m.Eng.Now())
 	}

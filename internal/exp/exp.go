@@ -15,6 +15,7 @@ import (
 	"flashsim/internal/apps"
 	"flashsim/internal/arch"
 	"flashsim/internal/core"
+	"flashsim/internal/metrics"
 	"flashsim/internal/stats"
 	"flashsim/internal/workload"
 )
@@ -96,7 +97,14 @@ func RunApp(name string, cfg arch.Config, p apps.Params, verify bool) (*Run, err
 // before the run starts — the place to attach a tracer or enable occupancy
 // sampling (core.Machine.SetTracer, EnableOccSampling) without perturbing
 // the simulation itself.
+//
+// The returned report carries host-cost accounting (Report.Host) sampled
+// around the run. The runtime counters are process-wide, so when several
+// simulations run concurrently (Pair, parallelMap) each delta includes its
+// neighbours' allocations; ProfileApps runs sequentially for exact
+// attribution.
 func RunAppObserved(name string, cfg arch.Config, p apps.Params, verify bool, observe func(*core.Machine)) (*Run, error) {
+	before := metrics.ReadHost()
 	m, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -120,7 +128,10 @@ func RunAppObserved(name string, cfg arch.Config, p apps.Params, verify bool, ob
 			return nil, fmt.Errorf("%s on %v: %w", name, cfg.Kind, err)
 		}
 	}
-	return &Run{App: name, Cfg: cfg, Report: stats.Collect(m), Machine: m}, nil
+	rep := stats.Collect(m)
+	host := metrics.ReadHost().Sub(before)
+	rep.Host = &host
+	return &Run{App: name, Cfg: cfg, Report: rep, Machine: m}, nil
 }
 
 // Pair runs an application on FLASH and on the ideal machine with otherwise

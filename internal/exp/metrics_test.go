@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/metrics"
+)
+
+// TestMetricsDoNotPerturbSimulation is the non-perturbation proof promised
+// by DESIGN.md §12: running with a metrics registry attached (which also
+// turns on engine self-profiling) yields cycle counts and event counts
+// bit-identical to the recorded golden digests, on both engines and both PP
+// dispatch backends. Metrics are host-side observation only — any
+// divergence here means instrumentation leaked into simulated behaviour.
+func TestMetricsDoNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	buf, err := os.ReadFile(filepath.Join("testdata", "golden_digest.json"))
+	if err != nil {
+		t.Fatalf("missing golden digests: %v", err)
+	}
+	want := map[string]goldenDigest{}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	const app = "fft"
+	for _, eng := range []arch.EngineKind{arch.EngineSeq, arch.EngineSharded} {
+		for _, disp := range []arch.PPDispatch{arch.PPDispatchInterp, arch.PPDispatchCompiled} {
+			cfg := goldenConfig()
+			cfg.Engine = eng
+			cfg.PPDispatch = disp
+			reg := metrics.NewRegistry()
+			r, err := RunAppObserved(app, cfg, apps.Params{Scale: goldenScales[app]}, true, func(m *core.Machine) {
+				m.EnableMetrics(reg)
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", eng, disp, err)
+			}
+			got := goldenDigest{
+				Elapsed:  uint64(r.Report.Elapsed),
+				Executed: r.Machine.Eng.ExecutedEvents(),
+			}
+			if got != want[app] {
+				t.Errorf("%v/%v: metrics-enabled digest %+v, want %+v (instrumentation perturbed the simulation)",
+					eng, disp, got, want[app])
+			}
+
+			// The registry must agree with the simulation's own accounting.
+			snap := reg.Snapshot()
+			if c, ok := snap.Gauges["flash_cycles"]; !ok || uint64(c) != got.Elapsed {
+				t.Errorf("%v/%v: flash_cycles gauge = %d, want %d", eng, disp, c, got.Elapsed)
+			}
+			if ev, ok := snap.Counters["flashsim_sim_events_total"]; !ok || ev != got.Executed {
+				t.Errorf("%v/%v: sim_events counter = %d, want %d", eng, disp, ev, got.Executed)
+			}
+		}
+	}
+}
+
+// TestMetricsProfileShape checks the engine-profile series published for a
+// sharded run: per-shard event counters must sum to the engine total, and
+// every shard must have published a window-execution time series.
+func TestMetricsProfileShape(t *testing.T) {
+	cfg := goldenConfig()
+	cfg.Engine = arch.EngineSharded
+	reg := metrics.NewRegistry()
+	r, err := RunAppObserved("fft", cfg, apps.Params{Scale: goldenScales["fft"]}, true, func(m *core.Machine) {
+		m.EnableMetrics(reg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var perShard uint64
+	shards := 0
+	for id, v := range snap.Counters {
+		if len(id) > 28 && id[:28] == "flashsim_engine_events_total" {
+			perShard += v
+			shards++
+		}
+	}
+	if shards != cfg.Nodes {
+		t.Errorf("per-shard event series for %d shards, want %d", shards, cfg.Nodes)
+	}
+	if total := r.Machine.Eng.ExecutedEvents(); perShard != total {
+		t.Errorf("per-shard events sum %d != engine total %d", perShard, total)
+	}
+	if _, ok := snap.Counters[`flashsim_engine_run_ns_total{engine="sharded"}`]; !ok {
+		t.Error("missing flashsim_engine_run_ns_total{engine=\"sharded\"}")
+	}
+	if r.Report.Host == nil || r.Report.Host.WallNS <= 0 {
+		t.Errorf("Report.Host = %+v, want positive wall time", r.Report.Host)
+	}
+}

@@ -1,0 +1,252 @@
+// Package metrics is the simulator's host-side observability layer: a
+// registry of named counters, gauges, and pow2-bucket histograms describing
+// the cost of running the simulation itself (as opposed to internal/trace
+// and internal/stats, which describe the simulated machine).
+//
+// The design mirrors the trace package's zero-cost-when-disabled pattern: a
+// nil *Registry is valid and hands out discard instruments, so components
+// can resolve their metrics unconditionally at setup time; engines batch
+// their hot-path observations in plain per-shard fields and flush them into
+// the registry at run boundaries, so an enabled registry never adds atomic
+// traffic to the event loop. The non-perturbation test in internal/exp
+// proves a metrics-enabled run stays cycle-identical to the golden digests.
+//
+// Instrument values use atomics throughout, so a registry may be shared by
+// concurrent simulations and scraped (Handler, WriteJSON, WritePrometheus)
+// while runs are in flight. Snapshot reads are per-field atomic, not
+// globally linearizable: a scrape racing a writer can observe a histogram
+// whose sum is momentarily ahead of its buckets.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"flashsim/internal/trace"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// SetMax raises the gauge to v if v is larger — the high-water-mark
+// operation (heap depths, queue peaks).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is an atomic power-of-two-bucket histogram with the same bucket
+// shape as trace.Histogram (bucket i counts values v with bits.Len64(v) ==
+// i), safe for concurrent Observe from many goroutines.
+type Histogram struct {
+	count, sum atomic.Uint64
+	// minC holds the bitwise complement of the minimum, so the zero value
+	// (^uint64(0) complemented) reads as "no observation yet" and the CAS
+	// race always keeps the smaller value.
+	minC, max atomic.Uint64
+	buckets   [trace.HistBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := bits.Len64(v)
+	if i >= trace.HistBuckets {
+		i = trace.HistBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.minC.Load()
+		if ^cur <= v || h.minC.CompareAndSwap(cur, ^v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Snapshot materializes the histogram as a plain trace.Histogram.
+func (h *Histogram) Snapshot() trace.Histogram {
+	var s trace.Histogram
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Min = ^h.minC.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered instrument: a name, an optional label set, and
+// exactly one of the three value types.
+type entry struct {
+	name   string
+	labels []string // alternating key, value
+	id     string   // name plus rendered labels; the registry key
+	kind   metricKind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+}
+
+// Registry is a concurrent-safe set of named instruments. Instruments are
+// created on first lookup and live for the registry's lifetime; repeated
+// lookups with the same name and labels return the same instrument. A nil
+// *Registry is valid: lookups return fresh discard instruments and the
+// exposition methods render an empty registry.
+type Registry struct {
+	mu   sync.Mutex
+	byID map[string]*entry
+	all  []*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: map[string]*entry{}}
+}
+
+// id renders the canonical series id: name{k1="v1",k2="v2"} with labels in
+// the order given (callers use fixed label orders, so ids are stable).
+func id(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup get-or-creates the entry for (name, labels) of the given kind.
+// Requesting an existing name with a different kind is a programming error
+// and panics.
+func (r *Registry) lookup(kind metricKind, name string, labels []string) *entry {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("metrics: odd label list for %s: %v", name, labels))
+	}
+	key := id(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byID[key]
+	if !ok {
+		e = &entry{name: name, labels: labels, id: key, kind: kind}
+		switch kind {
+		case kindCounter:
+			e.c = new(Counter)
+		case kindGauge:
+			e.g = new(Gauge)
+		case kindHistogram:
+			e.h = new(Histogram)
+		}
+		r.byID[key] = e
+		r.all = append(r.all, e)
+	}
+	if e.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", key, e.kind, kind))
+	}
+	return e
+}
+
+// Counter returns the counter for name with the given alternating
+// key/value labels, creating it on first use. Nil-safe: a nil registry
+// returns a discard counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	return r.lookup(kindCounter, name, labels).c
+}
+
+// Gauge returns the gauge for name and labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	return r.lookup(kindGauge, name, labels).g
+}
+
+// Histogram returns the histogram for name and labels, creating it on
+// first use.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return new(Histogram)
+	}
+	return r.lookup(kindHistogram, name, labels).h
+}
+
+// sorted returns the entries ordered by id, for stable exposition.
+func (r *Registry) sorted() []*entry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]*entry, len(r.all))
+	copy(out, r.all)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

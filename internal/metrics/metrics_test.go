@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The concurrent tests below are the registry's -race pass (make verify runs
+// this package under the race detector): many goroutines hammer shared
+// instruments and the totals must come out exact.
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines, perG = 16, 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("test_total", "worker", "shared")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("test_total", "worker", "shared").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("hiwater")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 7999 {
+		t.Errorf("SetMax high-water = %d, want 7999", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	const goroutines, perG = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(uint64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	n := uint64(goroutines * perG)
+	if s.Count != n {
+		t.Errorf("count = %d, want %d", s.Count, n)
+	}
+	if want := n * (n - 1) / 2; s.Sum != want {
+		t.Errorf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.Min != 0 || s.Max != n-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", s.Min, s.Max, n-1)
+	}
+	var bucketSum uint64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != n {
+		t.Errorf("bucket total = %d, want %d", bucketSum, n)
+	}
+}
+
+func TestRegistryIdentityAndKinds(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "k", "v")
+	b := reg.Counter("x_total", "k", "v")
+	if a != b {
+		t.Error("same (name, labels) returned distinct counters")
+	}
+	if c := reg.Counter("x_total", "k", "other"); c == a {
+		t.Error("different labels returned the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "k", "v")
+}
+
+func TestNilRegistryDiscards(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.Gauge("b").Set(7)
+	reg.Histogram("c").Observe(3)
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil registry exposition not empty: %q", sb.String())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("flash_cycles").Set(19307)
+	reg.Counter("flashsim_sim_events_total").Add(6277)
+	reg.Histogram("window_events", "shard", "0").Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if s.Gauges["flash_cycles"] != 19307 {
+		t.Errorf("flash_cycles = %d, want 19307", s.Gauges["flash_cycles"])
+	}
+	if s.Counters["flashsim_sim_events_total"] != 6277 {
+		t.Errorf("events = %d, want 6277", s.Counters["flashsim_sim_events_total"])
+	}
+	if h := s.Histograms[`window_events{shard="0"}`]; h.Count != 1 || h.Sum != 5 {
+		t.Errorf("histogram round-trip = %+v", h)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("evt_total", "shard", "1").Add(42)
+	reg.Gauge("depth").Set(-3)
+	reg.Histogram("lat").Observe(6) // bits.Len64(6) == 3, le bound 7
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE evt_total counter",
+		`evt_total{shard="1"} 42`,
+		"# TYPE depth gauge",
+		"depth -3",
+		"# TYPE lat histogram",
+		`lat_bucket{le="7"} 1`,
+		`lat_bucket{le="+Inf"} 1`,
+		"lat_sum 6",
+		"lat_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("flash_cycles").Set(7)
+	h := reg.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "flash_cycles 7") {
+		t.Errorf("text body missing series:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("json body: %v", err)
+	}
+	if s.Gauges["flash_cycles"] != 7 {
+		t.Errorf("json body gauges = %+v", s.Gauges)
+	}
+}
+
+func TestReadHostDelta(t *testing.T) {
+	before := ReadHost()
+	// Allocate visibly so the delta has something to show.
+	sink := make([][]byte, 0, 1024)
+	for i := 0; i < 1024; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	_ = sink
+	time.Sleep(time.Millisecond)
+	d := ReadHost().Sub(before)
+	if d.WallNS <= 0 {
+		t.Errorf("wall delta %d, want > 0", d.WallNS)
+	}
+	if d.AllocBytes < 1<<20 {
+		t.Errorf("alloc delta %d bytes, want >= 1 MiB", d.AllocBytes)
+	}
+	reg := NewRegistry()
+	d.Publish(reg, "host", "app", "test")
+	s := reg.Snapshot()
+	if got := s.Gauges[`host_alloc_bytes{app="test"}`]; got != int64(d.AllocBytes) {
+		t.Errorf("published alloc = %d, want %d", got, d.AllocBytes)
+	}
+}

@@ -1,0 +1,45 @@
+package ppsim
+
+import (
+	"testing"
+
+	"flashsim/internal/ppisa"
+)
+
+// TestCompileCacheStats checks the hit/miss accounting the metrics registry
+// exposes: a program's first compiled execution is a miss, every later PP
+// sharing the program is a hit. Counters are process-wide, so the test works
+// in deltas.
+func TestCompileCacheStats(t *testing.T) {
+	prog := pairProg(
+		single(ppisa.Instr{Op: ppisa.ADDI, Rd: 1, Imm: 7}),
+		single(ppisa.Instr{Op: ppisa.DONE}),
+	)
+	run := func() {
+		env := &mockEnv{}
+		pp := NewBackend(prog, 64<<10, NewMDC(4096, 2), env, BackendCompiled)
+		if st, _ := pp.Start("h"); st != StatusDone {
+			t.Fatalf("status = %v", st)
+		}
+	}
+
+	h0, m0, _ := CompileCacheStats()
+	run()
+	h1, m1, _ := CompileCacheStats()
+	if m1-m0 != 1 {
+		t.Errorf("first run: %d misses, want 1", m1-m0)
+	}
+	if h1 != h0 {
+		t.Errorf("first run: %d hits, want 0", h1-h0)
+	}
+	for i := 0; i < 3; i++ {
+		run()
+	}
+	h2, m2, _ := CompileCacheStats()
+	if m2 != m1 {
+		t.Errorf("reruns recompiled: %d extra misses", m2-m1)
+	}
+	if h2-h1 != 3 {
+		t.Errorf("reruns: %d hits, want 3", h2-h1)
+	}
+}

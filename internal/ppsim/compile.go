@@ -5,6 +5,7 @@ import (
 	"math/bits"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"flashsim/internal/arch"
 	"flashsim/internal/ppisa"
@@ -114,6 +115,16 @@ var compileCache = struct {
 	m map[*ppisa.Program][]cpair
 }{m: map[*ppisa.Program][]cpair{}}
 
+// Compile-cache traffic counters, process-wide like the cache itself;
+// exported to the metrics registry via CompileCacheStats.
+var cacheHits, cacheMisses, cacheEvictions atomic.Uint64
+
+// CompileCacheStats reports cumulative compile-cache traffic: images
+// reused, images compiled, and entries dropped by the size bound.
+func CompileCacheStats() (hits, misses, evictions uint64) {
+	return cacheHits.Load(), cacheMisses.Load(), cacheEvictions.Load()
+}
+
 // compiledImage returns the (shared, immutable at run time) closure image
 // for prog, compiling on first sight.
 func compiledImage(prog *ppisa.Program) []cpair {
@@ -121,11 +132,15 @@ func compiledImage(prog *ppisa.Program) []cpair {
 	cc.Lock()
 	code, ok := cc.m[prog]
 	if !ok {
+		cacheMisses.Add(1)
 		code = compile(prog)
 		if len(cc.m) >= 64 {
+			cacheEvictions.Add(uint64(len(cc.m)))
 			clear(cc.m)
 		}
 		cc.m[prog] = code
+	} else {
+		cacheHits.Add(1)
 	}
 	cc.Unlock()
 	return code

@@ -30,7 +30,10 @@
 // because network transit is positive).
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Cycle is a point in simulated time, in 10 ns system clock cycles.
 type Cycle uint64
@@ -93,6 +96,13 @@ type Backend interface {
 	Now() Cycle
 	ExecutedEvents() uint64
 	Pending() int
+	// EnableProfiling turns on host-side self-profiling for subsequent Run
+	// calls. Purely observational: simulated behaviour is bit-identical
+	// with profiling on or off. Call before Run.
+	EnableProfiling()
+	// Profile returns the host-cost breakdown accumulated by profiled Run
+	// calls, or nil when profiling was never enabled.
+	Profile() *EngineProfile
 }
 
 // queue is one node's event population: the monomorphic heap plus the
@@ -104,6 +114,7 @@ type queue struct {
 	heap    []event  // future events, min-ordered by (at, key)
 	fifo    []func() // events scheduled for the current cycle, in order
 	fifoPos int      // next undispatched fifo entry
+	hiWater int      // deepest the heap ever grew (self-profiling)
 }
 
 // at schedules fn at absolute cycle t. Scheduling in the past (t < now)
@@ -160,6 +171,9 @@ type Engine struct {
 	quantum Cycle
 	flush   func()
 	curWin  Cycle
+
+	profOn bool
+	runNS  int64
 }
 
 // ErrLimit is returned by Run when the cycle limit is exceeded.
@@ -201,6 +215,28 @@ func (e *Engine) SetQuantum(q Cycle, flush func()) {
 	e.flush = flush
 }
 
+// EnableProfiling turns on host-side self-profiling; see Backend. The
+// sequential engine's whole run is one window-execution phase, so the
+// profile carries the run wall time plus the queue's high-water mark.
+func (e *Engine) EnableProfiling() { e.profOn = true }
+
+// Profile returns the host-cost breakdown, nil if profiling is off.
+func (e *Engine) Profile() *EngineProfile {
+	if !e.profOn {
+		return nil
+	}
+	return &EngineProfile{
+		Engine:  "seq",
+		Workers: 1,
+		RunNS:   e.runNS,
+		Shards: []ShardProfile{{
+			ExecNS:      e.runNS,
+			Executed:    e.Executed,
+			HeapHiWater: uint64(e.hiWater),
+		}},
+	}
+}
+
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -213,6 +249,10 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // still runs; the first advance beyond it aborts.
 func (e *Engine) Run() error {
 	e.stopped = false
+	if e.profOn {
+		start := time.Now()
+		defer func() { e.runNS += time.Since(start).Nanoseconds() }()
+	}
 	if e.Limit != 0 && e.now > e.Limit {
 		return ErrLimit
 	}
@@ -271,6 +311,9 @@ func (e *Engine) Pending() int { return e.pending() }
 
 func (q *queue) push(ev event) {
 	h := append(q.heap, ev)
+	if len(h) > q.hiWater {
+		q.hiWater = len(h)
+	}
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 2

@@ -1,0 +1,100 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"flashsim/internal/sim"
+)
+
+// TestProfilingDoesNotPerturb drives the torture workload with and without
+// self-profiling at several worker counts and demands bit-identical
+// simulated results: profiling is host-side observation only.
+func TestProfilingDoesNotPerturb(t *testing.T) {
+	base := runTorture(sim.NewShardedEngine(tortureNodes, tortureWindow), 0)
+	for _, workers := range []int{1, 2, 8} {
+		e := sim.NewShardedEngine(tortureNodes, tortureWindow)
+		e.Workers = workers
+		e.EnableProfiling()
+		got := runTorture(e, 0)
+		compareTorture(t, "profiled", base, got)
+	}
+
+	seqBase := runTorture(sim.NewEngine(), 0)
+	se := sim.NewEngine()
+	se.EnableProfiling()
+	compareTorture(t, "profiled-seq", seqBase, runTorture(se, 0))
+}
+
+// TestProfileAttribution checks the profile's internal accounting at each
+// worker count: phase coverage of at least 95% of engine wall time, shard
+// event counts summing to the engine total, a consistent outbox traffic
+// matrix, and sane window-utilization and heap statistics.
+func TestProfileAttribution(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		e := sim.NewShardedEngine(tortureNodes, tortureWindow)
+		e.Workers = workers
+		e.EnableProfiling()
+		res := runTorture(e, 0)
+		if res.err != nil {
+			t.Fatalf("workers=%d: %v", workers, res.err)
+		}
+		p := e.Profile()
+		if p == nil {
+			t.Fatalf("workers=%d: nil profile", workers)
+		}
+		if p.Engine != "sharded" || p.Workers != workers {
+			t.Errorf("workers=%d: profile header %s/%d", workers, p.Engine, p.Workers)
+		}
+		if cov := p.Coverage(); cov < 0.95 {
+			t.Errorf("workers=%d: coverage %.3f, want >= 0.95", workers, cov)
+		}
+		if len(p.Shards) != tortureNodes {
+			t.Fatalf("workers=%d: %d shard profiles, want %d", workers, len(p.Shards), tortureNodes)
+		}
+		var events, sent uint64
+		for i := range p.Shards {
+			s := &p.Shards[i]
+			events += s.Executed
+			if s.EmptyWindows > s.Windows {
+				t.Errorf("workers=%d shard %d: empty %d > windows %d", workers, i, s.EmptyWindows, s.Windows)
+			}
+			if s.Executed > 0 && s.HeapHiWater == 0 {
+				t.Errorf("workers=%d shard %d: executed %d events but heap high-water 0", workers, i, s.Executed)
+			}
+			if len(s.OutboxSent) != tortureNodes {
+				t.Fatalf("workers=%d shard %d: outbox row length %d, want %d", workers, i, len(s.OutboxSent), tortureNodes)
+			}
+			for _, n := range s.OutboxSent {
+				sent += n
+			}
+		}
+		if events != res.executed {
+			t.Errorf("workers=%d: shard events sum %d != executed %d", workers, events, res.executed)
+		}
+		if sent == 0 {
+			t.Errorf("workers=%d: outbox matrix empty; torture workload always crosses shards", workers)
+		}
+		// Every delivery the workload issued while the engine ran goes
+		// through an outbox (route tallies at the source shard), so the
+		// matrix must account for each send exactly once.
+		if sent != res.sends {
+			t.Errorf("workers=%d: outbox matrix counts %d sends, want %d", workers, sent, res.sends)
+		}
+		if !strings.Contains(p.String(), "coverage") {
+			t.Errorf("workers=%d: String() missing coverage line:\n%s", workers, p)
+		}
+	}
+}
+
+// TestProfileDisabled pins the zero-cost contract: without EnableProfiling,
+// Profile returns nil on both engines and the outbox matrix stays unallocated.
+func TestProfileDisabled(t *testing.T) {
+	e := sim.NewShardedEngine(2, 8)
+	if p := e.Profile(); p != nil {
+		t.Errorf("sharded Profile() = %+v before EnableProfiling, want nil", p)
+	}
+	if p := sim.NewEngine().Profile(); p != nil {
+		t.Errorf("seq Profile() = %+v before EnableProfiling, want nil", p)
+	}
+}

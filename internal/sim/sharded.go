@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ShardedEngine is the conservative parallel discrete-event backend: the
@@ -49,6 +50,17 @@ type ShardedEngine struct {
 	winEnd Cycle
 	winLim Cycle
 	quit   bool
+
+	// Self-profiling (off unless EnableProfiling was called). The chained
+	// timestamps attribute the coordinator and worker loops to the four
+	// phases in profile.go; per-worker barrier slots are written only by
+	// their owning goroutine and read after the pool joins.
+	profOn      bool
+	profWorkers int
+	runNS       int64
+	mergeNS     int64
+	drainNS     int64
+	barrierNS   []int64
 }
 
 // Shard is one node's slice of the event population. It implements
@@ -60,6 +72,14 @@ type Shard struct {
 	executed uint64
 	stopped  bool
 	outbox   [][]delivery // per destination shard, drained at barriers
+
+	// Self-profiling fields, written only by the goroutine driving this
+	// shard (or by the coordinator at barriers, for sent).
+	execNS      int64
+	windows     uint64
+	emptyWins   uint64
+	maxEvWindow uint64
+	sent        []uint64 // deliveries routed per destination shard
 }
 
 type delivery struct {
@@ -101,6 +121,43 @@ func (e *ShardedEngine) SetQuantum(q Cycle, flush func()) {
 		e.window = q
 	}
 	e.flush = flush
+}
+
+// EnableProfiling turns on host-side self-profiling; see Backend.
+func (e *ShardedEngine) EnableProfiling() {
+	e.profOn = true
+	for _, s := range e.shards {
+		if s.sent == nil {
+			s.sent = make([]uint64, len(e.shards))
+		}
+	}
+}
+
+// Profile returns the host-cost breakdown, nil if profiling is off.
+func (e *ShardedEngine) Profile() *EngineProfile {
+	if !e.profOn {
+		return nil
+	}
+	p := &EngineProfile{
+		Engine:    "sharded",
+		Workers:   e.profWorkers,
+		RunNS:     e.runNS,
+		MergeNS:   e.mergeNS,
+		DrainNS:   e.drainNS,
+		BarrierNS: append([]int64(nil), e.barrierNS...),
+	}
+	for _, s := range e.shards {
+		p.Shards = append(p.Shards, ShardProfile{
+			ExecNS:          s.execNS,
+			Executed:        s.executed,
+			Windows:         s.windows,
+			EmptyWindows:    s.emptyWins,
+			MaxEventsWindow: s.maxEvWindow,
+			HeapHiWater:     uint64(s.hiWater),
+			OutboxSent:      append([]uint64(nil), s.sent...),
+		})
+	}
+	return p
 }
 
 // Stop makes Run return at the current window barrier. Events already
@@ -164,6 +221,9 @@ func (e *ShardedEngine) route() {
 			if len(box) == 0 {
 				continue
 			}
+			if src.sent != nil {
+				src.sent[dst] += uint64(len(box))
+			}
 			d := e.shards[dst]
 			for _, dl := range box {
 				d.push(event{at: dl.at, key: dl.key, fn: dl.fn})
@@ -200,6 +260,18 @@ func (e *ShardedEngine) Run() error {
 		p = 1
 	}
 
+	// Profiling uses chained timestamps: each lap both ends one interval
+	// and begins the next, so coordinator time tiles into merge, exec,
+	// barrier, and drain with no gaps (see profile.go).
+	prof := e.profOn
+	var start, mark time.Time
+	if prof {
+		e.profWorkers = p
+		e.barrierNS = make([]int64, p)
+		start = time.Now()
+		mark = start
+	}
+
 	e.quit = false
 	e.running = true
 	var wg sync.WaitGroup
@@ -217,14 +289,23 @@ func (e *ShardedEngine) Run() error {
 			wg.Wait()
 		}
 		e.running = false
+		if prof {
+			e.runNS += time.Since(start).Nanoseconds()
+		}
 	}()
 
 	for {
 		t, ok := e.minNext()
 		if !ok {
+			if prof {
+				e.mergeNS += lap(&mark)
+			}
 			return nil
 		}
 		if e.limit != 0 && t > e.limit {
+			if prof {
+				e.mergeNS += lap(&mark)
+			}
 			return ErrLimit
 		}
 		win := t / e.window
@@ -236,12 +317,19 @@ func (e *ShardedEngine) Run() error {
 		}
 		end := (win + 1) * e.window
 		e.winEnd, e.winLim = end, e.limit
+		if prof {
+			e.mergeNS += lap(&mark)
+		}
 
 		if p > 1 {
 			e.done.Store(0)
 			e.phase.Add(1)
 			for i := 0; i < n; i += p {
-				e.shards[i].runWindow(end, e.limit)
+				s := e.shards[i]
+				s.runWindow(end, e.limit)
+				if prof {
+					s.execNS += lap(&mark)
+				}
 			}
 			e.done.Add(1)
 			for spins := 0; e.done.Load() < int64(p); spins++ {
@@ -249,13 +337,22 @@ func (e *ShardedEngine) Run() error {
 					runtime.Gosched()
 				}
 			}
+			if prof {
+				e.barrierNS[0] += lap(&mark)
+			}
 		} else {
 			for _, s := range e.shards {
 				s.runWindow(end, e.limit)
+				if prof {
+					s.execNS += lap(&mark)
+				}
 			}
 		}
 
 		e.route()
+		if prof {
+			e.drainNS += lap(&mark)
+		}
 		if e.stopReq.Load() {
 			return nil
 		}
@@ -266,6 +363,11 @@ func (e *ShardedEngine) Run() error {
 // fixed stride of shards for the published window, and checks in.
 func (e *ShardedEngine) workerLoop(w, p int, last uint64, wg *sync.WaitGroup) {
 	defer wg.Done()
+	prof := e.profOn
+	var mark time.Time
+	if prof {
+		mark = time.Now()
+	}
 	for {
 		for spins := 0; ; spins++ {
 			if ph := e.phase.Load(); ph != last {
@@ -276,20 +378,44 @@ func (e *ShardedEngine) workerLoop(w, p int, last uint64, wg *sync.WaitGroup) {
 				runtime.Gosched()
 			}
 		}
+		if prof {
+			e.barrierNS[w] += lap(&mark)
+		}
 		if e.quit {
 			return
 		}
 		end, lim := e.winEnd, e.winLim
 		for i := w; i < len(e.shards); i += p {
-			e.shards[i].runWindow(end, lim)
+			s := e.shards[i]
+			s.runWindow(end, lim)
+			if prof {
+				s.execNS += lap(&mark)
+			}
 		}
 		e.done.Add(1)
 	}
 }
 
-// runWindow dispatches this shard's events with cycle < end (and, when lim
-// is nonzero, cycle <= lim), mirroring the sequential Run loop structure.
+// runWindow dispatches this shard's events for one lookahead window,
+// recording window-utilization counters when profiling is on.
 func (s *Shard) runWindow(end, lim Cycle) {
+	if !s.eng.profOn {
+		s.runWin(end, lim)
+		return
+	}
+	before := s.executed
+	s.runWin(end, lim)
+	s.windows++
+	if d := s.executed - before; d == 0 {
+		s.emptyWins++
+	} else if d > s.maxEvWindow {
+		s.maxEvWindow = d
+	}
+}
+
+// runWin dispatches this shard's events with cycle < end (and, when lim
+// is nonzero, cycle <= lim), mirroring the sequential Run loop structure.
+func (s *Shard) runWin(end, lim Cycle) {
 	for !s.stopped {
 		if len(s.heap) > 0 && s.heap[0].at == s.now {
 			fn := s.pop()

@@ -25,6 +25,7 @@ type tortureResult struct {
 	logs     [][]uint64
 	words    []uint64
 	executed uint64
+	sends    uint64 // cross-node Deliver calls issued
 	now      sim.Cycle
 	err      error
 }
@@ -108,6 +109,9 @@ func runTorture(b sim.Backend, limit sim.Cycle) tortureResult {
 		res.words[w] = store.Load(uint64(w))
 	}
 	res.executed = b.ExecutedEvents()
+	for _, s := range seqs {
+		res.sends += s
+	}
 	res.now = b.Now()
 	return res
 }

@@ -14,6 +14,7 @@ import (
 
 	"flashsim/internal/arch"
 	"flashsim/internal/core"
+	"flashsim/internal/metrics"
 	"flashsim/internal/sim"
 	"flashsim/internal/trace"
 )
@@ -75,6 +76,12 @@ type Report struct {
 	OccWindow    uint64    `json:",omitempty"`
 	MemOccSeries []float64 `json:",omitempty"`
 	PPOccSeries  []float64 `json:",omitempty"`
+
+	// Host, when metrics collection is on, carries the Go-runtime cost of
+	// producing this report: wall clock, allocation, and GC totals for the
+	// run. Host-side only — it never appears in the paper-facing text
+	// rendering.
+	Host *metrics.HostDelta `json:",omitempty"`
 }
 
 // Collect gathers a Report from a finished machine.

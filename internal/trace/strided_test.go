@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// Satellite coverage for the parallel-engine tracing path: per-node strided
+// tracers emitting into per-node buffers, merged by MergeBuffers, must
+// produce output that depends only on each node's own emission order —
+// never on how many host workers drove the nodes or how they interleaved.
+
+const (
+	stridedNodes  = 8
+	stridedEvents = 200
+)
+
+// emitAll drives the per-node emission loops with the given number of
+// concurrent workers (nodes partitioned round-robin) and returns the merged
+// event stream plus each node's buffer.
+func emitAll(t *testing.T, workers int) []Event {
+	t.Helper()
+	bufs := make([]*Buffer, stridedNodes)
+	tracers := make([]*Tracer, stridedNodes)
+	for i := range bufs {
+		bufs[i] = &Buffer{}
+		tracers[i] = NewStrided(bufs[i], uint64(i), stridedNodes)
+	}
+	// Each node's emission sequence is a pure function of the node index;
+	// workers only decide which goroutine runs which node's loop.
+	emitNode := func(i int) {
+		tr := tracers[i]
+		for k := 0; k < stridedEvents; k++ {
+			id := tr.NewID()
+			tr.Emit(Event{
+				// Colliding cycles across nodes exercise the tie-break rule.
+				Cycle: uint64(k / 3),
+				Node:  int32(i),
+				Kind:  KindMsgSend,
+				ID:    id,
+				Arg:   uint64(i*stridedEvents + k),
+			})
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < stridedNodes; i += workers {
+				emitNode(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var out Buffer
+	dst := New(&out)
+	MergeBuffers(dst, bufs)
+	return out.Events
+}
+
+func TestStridedMergeDeterministicAcrossWorkers(t *testing.T) {
+	want := emitAll(t, 1)
+	if len(want) != stridedNodes*stridedEvents {
+		t.Fatalf("merged %d events, want %d", len(want), stridedNodes*stridedEvents)
+	}
+	for _, workers := range []int{2, 8} {
+		got := emitAll(t, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: merged stream differs from single-worker stream", workers)
+		}
+	}
+}
+
+func TestStridedIDsUniqueAndOwned(t *testing.T) {
+	events := emitAll(t, 8)
+	seen := map[uint64]bool{}
+	for _, ev := range events {
+		if ev.ID == 0 {
+			t.Fatal("strided tracer minted id 0 (reserved for 'no link')")
+		}
+		if seen[ev.ID] {
+			t.Fatalf("id %d minted twice", ev.ID)
+		}
+		seen[ev.ID] = true
+		// NewStrided(offset i, step n) walks i+n, i+2n, ...: the residue
+		// identifies the minting node without synchronization.
+		if got := int32(ev.ID % stridedNodes); got != ev.Node%stridedNodes {
+			t.Fatalf("id %d (residue %d) emitted by node %d", ev.ID, got, ev.Node)
+		}
+	}
+}
+
+func TestMergeBuffersOrdering(t *testing.T) {
+	events := emitAll(t, 2)
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		if a.Cycle > b.Cycle {
+			t.Fatalf("event %d: cycle %d after %d", i, b.Cycle, a.Cycle)
+		}
+		if a.Cycle == b.Cycle && a.Node > b.Node {
+			t.Fatalf("event %d: same-cycle tie broken against node order (%d after %d)", i, b.Node, a.Node)
+		}
+		if a.Cycle == b.Cycle && a.Node == b.Node && a.Arg >= b.Arg {
+			t.Fatalf("event %d: per-node emission order not preserved", i)
+		}
+	}
+}

@@ -21,8 +21,19 @@ RAWI="$(mktemp)"
 RAWS="$(mktemp)"
 trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS"' EXIT
 
+# Host context recorded into every generated section: benchmark numbers are
+# meaningless without the parallelism they ran at.
+HOST_CPUS="$(nproc 2>/dev/null || echo 1)"
+GOMAXPROCS_VAL="${GOMAXPROCS:-$HOST_CPUS}"
+
+# now_s / since: per-section wall-clock, fractional seconds.
+now_s() { date +%s.%N 2>/dev/null || date +%s; }
+since() { awk -v a="$1" -v b="$(now_s)" 'BEGIN { printf "%.2f", b - a }'; }
+
+T_MICRO="$(now_s)"
 go test -run '^$' -bench . -benchmem -count "$COUNT" \
 	./internal/sim ./internal/workload ./internal/ppsim | tee "$RAW"
+MICRO_WALL="$(since "$T_MICRO")"
 
 # The engine's hot loop must stay allocation-free: every BenchmarkEngine*
 # line must report 0 allocs/op, or the observability layer (or anything
@@ -40,13 +51,32 @@ awk '$1 ~ /^BenchmarkHandlerDispatch\/compiled/ && $7 != 0 {
 }
 END { exit bad }' "$RAW" || { echo "bench.sh: compiled dispatch allocation regression" >&2; exit 1; }
 
+# The metrics layer must agree with the statistics report: run one app with
+# a metrics snapshot and the JSON report, and require the flash_cycles gauge
+# to equal the report's Elapsed bit-for-bit (the registry is fed from the
+# same machine the report is collected from — a skew means double
+# accounting somewhere).
+MJSON="$(mktemp)"
+SJSON="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS" "$MJSON" "$SJSON"' EXIT
+go run ./cmd/flashsim -app fft -procs 4 -scale 256 -metrics-out "$MJSON" -json >"$SJSON" 2>/dev/null
+METRIC_CYCLES="$(sed -n 's/.*"flash_cycles": *\([0-9]*\).*/\1/p' "$MJSON" | head -1)"
+STATS_CYCLES="$(sed -n 's/.*"Elapsed": *\([0-9]*\).*/\1/p' "$SJSON" | head -1)"
+if [ -z "$METRIC_CYCLES" ] || [ "$METRIC_CYCLES" != "$STATS_CYCLES" ]; then
+	echo "bench.sh: metrics flash_cycles ($METRIC_CYCLES) != stats Elapsed ($STATS_CYCLES)" >&2
+	exit 1
+fi
+echo "bench.sh: metrics snapshot agrees with stats (flash_cycles = $METRIC_CYCLES)"
+
 # Fig 4.1 macrobenchmarks under both PP dispatch backends. Simulated
 # flash_cycles must be bit-identical across backends (the golden-digest test
 # enforces the same property over whole applications).
+T_DISPATCH="$(now_s)"
 FLASHSIM_PP_DISPATCH=compiled go test -run '^$' -bench 'Fig41(FFT|LU|MP3D|Ocean)$' \
 	-count "$MACRO_COUNT" . | tee "$RAWC"
 FLASHSIM_PP_DISPATCH=interp go test -run '^$' -bench 'Fig41(FFT|LU|MP3D|Ocean)$' \
 	-count "$MACRO_COUNT" . | tee "$RAWI"
+DISPATCH_WALL="$(since "$T_DISPATCH")"
 
 cycles_of() {
 	awk '/^BenchmarkFig41/ { name = $1; sub(/-[0-9]+$/, "", name); print name, $5 }' "$1" | sort -u
@@ -57,7 +87,7 @@ if ! diff <(cycles_of "$RAWC") <(cycles_of "$RAWI") >/dev/null; then
 	exit 1
 fi
 
-awk -v count="$COUNT" '
+awk -v count="$COUNT" -v gmp="$GOMAXPROCS_VAL" -v cpus="$HOST_CPUS" -v wall="$MICRO_WALL" '
 /^pkg:/ { pkg = $2; sub(/^flashsim\/internal\//, "", pkg) }
 /^Benchmark/ {
 	name = $1
@@ -73,6 +103,9 @@ END {
 	printf "{\n"
 	printf "  \"suite\": \"flashsim sim/workload/ppsim microbenchmarks + Fig 4.1 macros\",\n"
 	printf "  \"runs\": %d,\n", count
+	printf "  \"gomaxprocs\": %d,\n", gmp
+	printf "  \"host_cpus\": %d,\n", cpus
+	printf "  \"wall_seconds\": %s,\n", wall
 	printf "  \"benchmarks\": {\n"
 	for (i = 1; i <= n; i++) {
 		k = order[i]
@@ -104,6 +137,9 @@ macro_json() {
 {
 	printf '  "pp_dispatch": {\n'
 	printf '    "note": "Fig 4.1 macros under both PP emulator backends (FLASHSIM_PP_DISPATCH), %s runs each; flash_cycles are asserted bit-identical across backends",\n' "$MACRO_COUNT"
+	printf '    "gomaxprocs": %s,\n' "$GOMAXPROCS_VAL"
+	printf '    "host_cpus": %s,\n' "$HOST_CPUS"
+	printf '    "wall_seconds": %s,\n' "$DISPATCH_WALL"
 	printf '    "compiled": {\n'
 	macro_json "$RAWC"
 	printf '    },\n'
@@ -120,8 +156,10 @@ macro_json() {
 # optimization (differential torture + golden-engine tests enforce the same
 # property). Wall-clock speedup from sharding requires a multicore host; on a
 # single-core host the sharded engine degenerates to an in-order window loop.
+T_ENGINE="$(now_s)"
 FLASHSIM_ENGINE=sharded go test -run '^$' -bench 'Fig41(FFT|LU|MP3D|Ocean)$' \
 	-count "$MACRO_COUNT" . | tee "$RAWS"
+ENGINE_WALL="$(since "$T_ENGINE")"
 if ! diff <(cycles_of "$RAWC") <(cycles_of "$RAWS") >/dev/null; then
 	echo "bench.sh: flash_cycles diverge between event engines" >&2
 	diff <(cycles_of "$RAWC") <(cycles_of "$RAWS") >&2 || true
@@ -131,7 +169,9 @@ fi
 {
 	printf '  "engine": {\n'
 	printf '    "note": "Fig 4.1 macros under both event engines (FLASHSIM_ENGINE), %s runs each; flash_cycles are asserted bit-identical across engines; sharded speedup needs host_cpus > 1",\n' "$MACRO_COUNT"
-	printf '    "host_cpus": %s,\n' "$(nproc 2>/dev/null || echo 1)"
+	printf '    "gomaxprocs": %s,\n' "$GOMAXPROCS_VAL"
+	printf '    "host_cpus": %s,\n' "$HOST_CPUS"
+	printf '    "wall_seconds": %s,\n' "$ENGINE_WALL"
 	printf '    "seq": {\n'
 	macro_json "$RAWC"
 	printf '    },\n'
