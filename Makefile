@@ -10,22 +10,28 @@ build:
 # Tier-1 verify line (keep in sync with ROADMAP.md), plus a race-detector
 # pass over the concurrent experiment driver, plus the exp golden digests
 # under the interpreter PP backend (the default test run covers the compiled
-# backend), so neither dispatch path can rot. The metrics passes pin the
-# observability layer: registry instruments exact under the race detector,
-# and metrics-enabled runs cycle-identical to the golden digests.
+# backend), so neither dispatch path can rot. The sharded-engine goldens run
+# under both synchronization schemes (window barrier and per-pair
+# watermarks) — simulated cycles must be bit-identical across all of them.
+# The metrics passes pin the observability layer: registry instruments exact
+# under the race detector, and metrics-enabled runs cycle-identical to the
+# golden digests.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
 	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestGolden
 	FLASHSIM_ENGINE=sharded $(GO) test -count=1 ./internal/exp -run TestGolden
 	GOMAXPROCS=1 FLASHSIM_ENGINE=sharded $(GO) test -count=1 ./internal/exp -run TestGolden
-	$(GO) test -race ./internal/sim -run Sharded
+	FLASHSIM_ENGINE=sharded FLASHSIM_ENGINE_SYNC=watermark $(GO) test -count=1 ./internal/exp -run TestGolden
+	$(GO) test -race ./internal/sim -run 'Sharded|Watermark'
 	$(GO) test -race ./internal/metrics
 	$(GO) test -count=1 ./internal/exp -run TestMetrics
 
 test:
 	$(GO) test ./...
 
-# Microbenchmarks 5x -> BENCH_sim.json (ns/op, B/op, allocs/op per run).
+# Microbenchmarks 5x -> BENCH_sim.json (ns/op, B/op, allocs/op per run),
+# including BenchmarkWindowSync (barrier vs watermark sync-op counts) and
+# the per-app engine profile summary in the "engine" section.
 bench:
 	scripts/bench.sh
 

@@ -4,10 +4,13 @@
 // Usage:
 //
 //	flashexp [-scale N] [-procs N] [-noverify] [-parallel N]
-//	         [-pp-dispatch compiled|interp] [-metrics] [-metrics-out f]
+//	         [-pp-dispatch compiled|interp] [-engine seq|sharded]
+//	         [-engine-sync barrier|watermark] [-metrics] [-metrics-out f]
 //	         [-pprof dir] <experiment>...
 //	flashexp all
-//	flashexp profile [-scale N] [-procs N] [-noverify] [-metrics-out f] [-pprof dir]
+//	flashexp profile [-scale N] [-procs N] [-noverify]
+//	         [-engine seq|sharded] [-engine-sync barrier|watermark]
+//	         [-workers N] [-metrics-out f] [-pprof dir]
 //
 // Experiments: table3.3 table3.4 fig4.1 fig4.2 fig4.3 sec4.3 sec4.5
 // table5.1 table5.1small sec5.2 table5.2 table5.3 sec5.3
@@ -16,10 +19,16 @@
 // the paper's sizes (slow), the default 4 finishes the full suite in
 // minutes.
 //
-// The profile subcommand runs the Figure 4.1 applications on the sharded
-// engine with host-side self-profiling and prints where the simulator's own
-// wall time goes: per-shard window-execution and barrier-wait shares, outbox
-// drain and merge cost, and per-app allocation/GC accounting.
+// The profile subcommand runs the Figure 4.1 applications with host-side
+// self-profiling and prints where the simulator's own wall time goes:
+// per-shard window-execution and barrier/horizon-wait shares, outbox drain,
+// merge and frontier-solve cost, synchronization-operation counts, and
+// per-app allocation/GC accounting. -engine, -engine-sync, and -workers
+// select the backend under profile, so barrier vs watermark runs of the
+// same suite can be compared from one command:
+//
+//	flashexp profile -engine-sync=barrier
+//	flashexp profile -engine-sync=watermark -workers 4
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"os"
 	"time"
 
+	"flashsim/internal/arch"
 	"flashsim/internal/cliutil"
 	"flashsim/internal/exp"
 	"flashsim/internal/metrics"
@@ -46,6 +56,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit experiment results as a JSON array on stdout")
 	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
 	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
+	engineSync := flag.String("engine-sync", "", "sharded engine synchronization: barrier or watermark (host speed only; simulated results are identical)")
 	metricsOn := flag.Bool("metrics", false, "collect host-side metrics; prints per-experiment host totals to stderr")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (implies -metrics)")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
@@ -82,6 +93,15 @@ func main() {
 		os.Setenv("FLASHSIM_ENGINE", *engine)
 	default:
 		fmt.Fprintf(os.Stderr, "flashexp: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	switch *engineSync {
+	case "":
+		// Process default (FLASHSIM_ENGINE_SYNC if already set, else barrier).
+	case "barrier", "watermark":
+		os.Setenv("FLASHSIM_ENGINE_SYNC", *engineSync)
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp: unknown engine-sync %q\n", *engineSync)
 		os.Exit(2)
 	}
 
@@ -219,6 +239,9 @@ func profileMain(args []string) {
 	scale := fs.Int("scale", 4, "problem size divisor (1 = paper sizes)")
 	procs := fs.Int("procs", 0, "override processor count (0 = paper defaults)")
 	noverify := fs.Bool("noverify", false, "skip result verification after runs")
+	engine := fs.String("engine", "", "event engine to profile: seq or sharded (default sharded)")
+	engineSync := fs.String("engine-sync", "", "sharded engine synchronization to profile: barrier or watermark (default barrier)")
+	workers := fs.Int("workers", 0, "sharded engine worker-pool size (0 = GOMAXPROCS)")
 	metricsOut := fs.String("metrics-out", "", "write the merged metrics snapshots as JSON to this file")
 	pprofDir := fs.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	fs.Parse(args)
@@ -232,7 +255,29 @@ func profileMain(args []string) {
 		fmt.Fprintf(os.Stderr, "flashexp profile: pprof: %v\n", err)
 		os.Exit(1)
 	}
-	o := exp.Options{Scale: *scale, Verify: !*noverify, Procs: *procs}
+	o := exp.Options{Scale: *scale, Verify: !*noverify, Procs: *procs, EngineWorkers: *workers}
+	switch *engine {
+	case "":
+		// Profile harness default: the sharded engine.
+	case "seq":
+		o.Engine = arch.EngineSeq
+	case "sharded":
+		o.Engine = arch.EngineSharded
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp profile: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	switch *engineSync {
+	case "":
+		// Process default (FLASHSIM_ENGINE_SYNC if set, else barrier).
+	case "barrier":
+		o.EngineSync = arch.EngineSyncBarrier
+	case "watermark":
+		o.EngineSync = arch.EngineSyncWatermark
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp profile: unknown engine-sync %q\n", *engineSync)
+		os.Exit(2)
+	}
 	profs, err := exp.ProfileApps(o, exp.Fig41Apps())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flashexp profile: %v\n", err)

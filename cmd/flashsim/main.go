@@ -5,7 +5,9 @@
 //
 //	flashsim [-machine flash|ideal] [-app fft] [-procs 16] [-cache 1048576]
 //	         [-scale 4] [-placement rr|ft|node0] [-nospec] [-ppmode dual|single|dlx]
-//	         [-pp-dispatch compiled|interp] [-json] [-trace out.jsonl]
+//	         [-pp-dispatch compiled|interp] [-engine seq|sharded]
+//	         [-engine-sync barrier|watermark] [-net uniform|mesh]
+//	         [-json] [-trace out.jsonl]
 //	         [-trace-format jsonl|chrome] [-occ-window N]
 //	         [-metrics] [-metrics-out metrics.json] [-pprof dir]
 //
@@ -49,6 +51,8 @@ func main() {
 	ppmode := flag.String("ppmode", "dual", "PP mode: dual, single, dlx")
 	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
 	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
+	engineSync := flag.String("engine-sync", "", "sharded engine synchronization: barrier or watermark (host speed only; simulated results are identical)")
+	netModel := flag.String("net", "uniform", "network latency model: uniform (paper average) or mesh (per-pair 2-D mesh transit; changes simulated timing)")
 	proto := flag.String("protocol", "dynptr", "coherence protocol: dynptr, bitvec")
 	membytes := flag.Int("membytes", 8<<20, "memory bytes per node")
 	jsonOut := flag.Bool("json", false, "emit the statistics report as JSON on stdout")
@@ -131,6 +135,24 @@ func main() {
 		cfg.Engine = arch.EngineSharded
 	default:
 		fatal("unknown engine %q", *engine)
+	}
+	switch *engineSync {
+	case "":
+		// Leave EngineSyncAuto: FLASHSIM_ENGINE_SYNC if set, else barrier.
+	case "barrier":
+		cfg.EngineSync = arch.EngineSyncBarrier
+	case "watermark":
+		cfg.EngineSync = arch.EngineSyncWatermark
+	default:
+		fatal("unknown engine-sync %q", *engineSync)
+	}
+	switch *netModel {
+	case "uniform":
+		cfg.NetModel = arch.NetUniform
+	case "mesh":
+		cfg.NetModel = arch.NetMesh
+	default:
+		fatal("unknown net model %q", *netModel)
 	}
 
 	prof, err := cliutil.StartPprof(*pprofDir)

@@ -146,6 +146,56 @@ func (e EngineKind) String() string {
 	return "auto"
 }
 
+// EngineSync selects how the sharded engine's shards synchronize. Both
+// schemes are bit-identical in simulated behaviour; the choice only affects
+// host-side simulation speed (sim/watermark.go documents the protocol).
+type EngineSync uint8
+
+const (
+	// EngineSyncAuto defers to the process default: the FLASHSIM_ENGINE_SYNC
+	// environment variable if set, the barrier scheme otherwise.
+	EngineSyncAuto EngineSync = iota
+	// EngineSyncBarrier forces the uniform-window full-barrier scheme.
+	EngineSyncBarrier
+	// EngineSyncWatermark forces the per-pair watermark scheme: shards
+	// advance when their input watermarks allow, using the distance-aware
+	// lookahead matrix when NetModel is the mesh.
+	EngineSyncWatermark
+)
+
+func (s EngineSync) String() string {
+	switch s {
+	case EngineSyncBarrier:
+		return "barrier"
+	case EngineSyncWatermark:
+		return "watermark"
+	}
+	return "auto"
+}
+
+// NetModel selects the interconnect latency model.
+type NetModel uint8
+
+const (
+	// NetUniform charges the paper's fixed average transit (Section 3's 22
+	// cycles at 16 nodes) to every message — the reference model all goldens
+	// pin.
+	NetUniform NetModel = iota
+	// NetMesh charges per-pair 2-D mesh transit (enter + Manhattan hops +
+	// exit at 4 cycles/hop, plus 3 header cycles). An INTENTIONAL MODEL
+	// CHANGE relative to the goldens: nearby nodes get faster messages,
+	// far-apart ones slower, and the sharded engine derives a per-pair
+	// lookahead matrix from the same distances.
+	NetMesh
+)
+
+func (m NetModel) String() string {
+	if m == NetMesh {
+		return "mesh"
+	}
+	return "uniform"
+}
+
 // Protocol selects which coherence protocol program MAGIC runs — the
 // machine's flexibility in action.
 type Protocol uint8
@@ -193,6 +243,16 @@ type Config struct {
 	// Engine selects the host-side discrete-event backend (simulation
 	// speed only; simulated results are bit-identical across engines).
 	Engine EngineKind
+
+	// EngineSync selects the sharded engine's shard-synchronization scheme
+	// (simulation speed only; simulated results are bit-identical across
+	// schemes). Ignored by the sequential engine.
+	EngineSync EngineSync
+
+	// NetModel selects the interconnect latency model. NetMesh changes
+	// simulated timing (per-pair transit instead of the fixed average) — it
+	// is a model knob, not a host-speed knob.
+	NetModel NetModel
 
 	Timing Timing
 

@@ -89,6 +89,22 @@ func resolveEngine(k arch.EngineKind) arch.EngineKind {
 	return arch.EngineSeq
 }
 
+// resolveSync maps EngineSyncAuto to the process default: the
+// FLASHSIM_ENGINE_SYNC environment variable if set, the barrier scheme
+// otherwise.
+func resolveSync(s arch.EngineSync) arch.EngineSync {
+	if s != arch.EngineSyncAuto {
+		return s
+	}
+	switch os.Getenv("FLASHSIM_ENGINE_SYNC") {
+	case "watermark":
+		return arch.EngineSyncWatermark
+	case "barrier":
+		return arch.EngineSyncBarrier
+	}
+	return arch.EngineSyncBarrier
+}
+
 // SetTracer attaches tr to every component of the machine — processors,
 // controllers, memories, and the interconnect — replacing any previous
 // tracer (nil detaches). Call before Run.
@@ -164,11 +180,29 @@ func New(cfg arch.Config) (*Machine, error) {
 		Backing: memsys.NewStore(cfg.Nodes * cfg.MemBytesPerNode / 8),
 	}
 	// The lookahead window and the store-visibility quantum are both the
-	// network transit latency: the minimum cross-node interaction delay.
+	// minimum cross-node interaction delay: the uniform transit latency, or
+	// the closest-pair transit under the mesh model. The per-pair horizons
+	// of the watermark scheduler never undercut this quantum — a shard's
+	// horizon is bounded by the flush gate — so store visibility follows the
+	// same window quantization on every engine.
 	w := sim.Cycle(cfg.Timing.NetTransit)
+	var mesh *network.Mesh
+	if cfg.NetModel == arch.NetMesh {
+		mesh = network.NewMesh(cfg.Nodes)
+		w = mesh.MinPairTransit()
+	}
 	switch resolveEngine(cfg.Engine) {
 	case arch.EngineSharded:
-		m.Eng = sim.NewShardedEngine(cfg.Nodes, w)
+		se := sim.NewShardedEngine(cfg.Nodes, w)
+		if resolveSync(cfg.EngineSync) == arch.EngineSyncWatermark {
+			se.SetSync(sim.SyncWatermark)
+		}
+		if mesh != nil {
+			// Distance-aware lookahead: far-apart shards owe each other
+			// synchronization only at mesh-transit granularity.
+			se.SetLookahead(mesh)
+		}
+		m.Eng = se
 		m.sharded = true
 	default:
 		m.Eng = sim.NewEngine()
@@ -182,7 +216,10 @@ func New(cfg arch.Config) (*Machine, error) {
 			v.Flush()
 		}
 	})
-	m.Net = network.New(cfg.Nodes, w)
+	m.Net = network.New(cfg.Nodes, sim.Cycle(cfg.Timing.NetTransit))
+	if mesh != nil {
+		m.Net.SetDistance(mesh)
+	}
 
 	if cfg.Kind == arch.KindFLASH {
 		prog, err := protocol.Build(&m.Cfg)

@@ -37,6 +37,15 @@ type Options struct {
 	// one OS thread hot plus one goroutine per simulated processor),
 	// floored at 2 so small hosts keep the FLASH/ideal pair concurrent.
 	Parallelism int
+	// Engine overrides the event-engine backend for the profile harness
+	// (EngineAuto keeps the harness default: sharded).
+	Engine arch.EngineKind
+	// EngineSync selects the sharded engine's synchronization scheme for
+	// the profile harness (EngineSyncAuto = process default).
+	EngineSync arch.EngineSync
+	// EngineWorkers overrides the sharded engine's worker-pool size for the
+	// profile harness (0 = GOMAXPROCS-derived).
+	EngineWorkers int
 }
 
 // workers returns the experiment fan-out for simulations of simProcs

@@ -44,11 +44,18 @@ func ProfileApps(o Options, names []string) ([]*AppProfile, error) {
 		cfg := baseConfig(np)
 		cfg.Kind = arch.KindFLASH
 		cfg.Engine = arch.EngineSharded
+		if o.Engine != arch.EngineAuto {
+			cfg.Engine = o.Engine
+		}
+		cfg.EngineSync = o.EngineSync
 		if name == "os" {
 			cfg.Placement = arch.PlaceRoundRobin
 		}
 		reg := metrics.NewRegistry()
 		r, err := RunAppObserved(name, cfg, o.paramsFor(name, np), o.Verify, func(m *core.Machine) {
+			if se, ok := m.Eng.(*sim.ShardedEngine); ok && o.EngineWorkers > 0 {
+				se.Workers = o.EngineWorkers
+			}
 			m.EnableMetrics(reg)
 		})
 		if err != nil {
@@ -79,7 +86,7 @@ func Profile(o Options) (string, error) {
 // RenderProfiles renders the host-performance report for profiled apps.
 func RenderProfiles(profs []*AppProfile) string {
 	var b strings.Builder
-	b.WriteString("Host-performance profile (sharded engine, FLASH machine)\n\n")
+	b.WriteString("Host-performance profile (FLASH machine)\n\n")
 	hdr := []string{"App", "Cycles", "Events", "Wall", "Ev/s", "AllocMB", "GCs", "GCPause", "Coverage"}
 	rows := [][]string{}
 	for _, p := range profs {

@@ -29,9 +29,11 @@ type Sink interface {
 	FromNet(m arch.Msg)
 }
 
-// Network delivers messages between nodes after a fixed transit latency.
+// Network delivers messages between nodes after a fixed transit latency, or
+// — when a distance model is installed — after the model's per-pair transit.
 type Network struct {
 	transit sim.Cycle
+	dist    sim.DistanceModel // nil = uniform transit
 	sinks   []Sink
 	ports   []*Port
 }
@@ -78,6 +80,20 @@ func (n *Network) Port(id arch.NodeID, sched sim.Scheduler) *Port {
 // Transit returns the fixed per-message transit latency.
 func (n *Network) Transit() sim.Cycle { return n.transit }
 
+// SetDistance installs a per-pair transit model (nil restores the uniform
+// latency). The model doubles as the engine's lookahead source, so actual
+// transit equals the conservative bound exactly — no message can undercut
+// the synchronization contract.
+func (n *Network) SetDistance(dm sim.DistanceModel) { n.dist = dm }
+
+// TransitFor returns the transit latency charged from src to dst.
+func (n *Network) TransitFor(src, dst arch.NodeID) sim.Cycle {
+	if n.dist != nil {
+		return n.dist.MinTransit(int(src), int(dst))
+	}
+	return n.transit
+}
+
 // TotalMsgs sums messages sent across all ports.
 func (n *Network) TotalMsgs() uint64 { return n.total(func(p *Port) uint64 { return p.Msgs }) }
 
@@ -113,6 +129,9 @@ func (p *Port) Send(at sim.Cycle, m arch.Msg) {
 		panic(fmt.Sprintf("network: send %s to unattached node %d", m.Type, m.Dst))
 	}
 	arrive := at + n.transit
+	if n.dist != nil {
+		arrive = at + n.dist.MinTransit(int(p.src), int(m.Dst))
+	}
 	p.seq++
 	if p.Tr.Active() {
 		// Each hop gets its own id, parented on the producing context, and
@@ -147,11 +166,56 @@ func (p *Port) Send(at sim.Cycle, m arch.Msg) {
 // sqrt(p) x sqrt(p) mesh at 4 cycles (40 ns) per hop, plus 3 header cycles.
 func AvgTransitFor(p int) sim.Cycle {
 	// Average Manhattan distance on a k x k mesh is ~2k/3 hops.
+	k := meshSide(p)
+	internal := 2.0 * float64(k) / 3.0
+	cycles := (1.0+internal+1.0)*4.0 + 3.0
+	return sim.Cycle(cycles + 0.5)
+}
+
+// meshSide returns the side of the smallest square mesh holding p nodes.
+func meshSide(p int) int {
 	k := 1
 	for k*k < p {
 		k++
 	}
-	internal := 2.0 * float64(k) / 3.0
-	cycles := (1.0+internal+1.0)*4.0 + 3.0
-	return sim.Cycle(cycles + 0.5)
+	return k
+}
+
+// Mesh is the explicit 2-D mesh distance model behind AvgTransitFor's
+// average: nodes laid out row-major on the smallest k x k grid, transit from
+// src to dst = (1 hop in + Manhattan hops + 1 hop out) * 4 cycles + 3 header
+// cycles. It implements sim.DistanceModel, so the same distances that charge
+// message latency also bound the sharded engine's per-pair lookahead —
+// adjacent nodes synchronize tightly, opposite corners barely at all.
+type Mesh struct {
+	k int
+}
+
+// NewMesh returns the mesh model for n nodes.
+func NewMesh(n int) *Mesh { return &Mesh{k: meshSide(n)} }
+
+// MinTransit returns the exact transit from src to dst; the model is
+// contention-free, so the minimum is also the actual latency.
+func (m *Mesh) MinTransit(src, dst int) sim.Cycle {
+	sx, sy := src%m.k, src/m.k
+	dx, dy := dst%m.k, dst/m.k
+	hops := sx - dx
+	if hops < 0 {
+		hops = -hops
+	}
+	if dyh := sy - dy; dyh >= 0 {
+		hops += dyh
+	} else {
+		hops -= dyh
+	}
+	return sim.Cycle((1+hops+1)*4 + 3)
+}
+
+// MinPairTransit returns the smallest cross-node transit — the store
+// visibility quantum equivalent of the uniform model's fixed latency.
+func (m *Mesh) MinPairTransit() sim.Cycle {
+	if m.k < 2 {
+		return m.MinTransit(0, 0)
+	}
+	return m.MinTransit(0, 1)
 }

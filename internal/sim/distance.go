@@ -1,0 +1,104 @@
+package sim
+
+// DistanceModel exposes the minimum cross-node message latency per
+// (source, destination) pair. The network provides implementations (uniform
+// transit, or the 2-D mesh hop model); the sharded engine consumes one to
+// build its lookahead matrix, so far-apart shards may run further ahead of
+// each other than neighbours.
+//
+// MinTransit(src, dst) must LOWER-bound every actual delivery latency the
+// model will ever produce for that pair: a delivery whose transit undercuts
+// it violates the conservative synchronization contract and panics.
+type DistanceModel interface {
+	// MinTransit returns the minimum cycles between a send at src and its
+	// arrival at dst. Must be >= 1 for src != dst and stable for the
+	// lifetime of the engine.
+	MinTransit(src, dst int) Cycle
+}
+
+// lookahead is the engine's per-(src,dst) lookahead matrix plus its derived
+// minima. A nil *lookahead means uniform lookahead equal to the engine's
+// window — the degenerate matrix — for which every computation below has an
+// O(1)-per-pair fast path.
+type lookahead struct {
+	n   int
+	l   []Cycle // l[src*n+dst]
+	min Cycle   // min over all pairs src != dst
+	// tri reports whether the matrix satisfies the triangle inequality
+	// (L[a][c] <= L[a][b] + L[b][c] for all distinct a,b,c). Metric-derived
+	// models (uniform transit, mesh hop distance) always do, and it lets the
+	// watermark scheduler solve horizons in one pass: a null message relayed
+	// through an intermediate shard can never beat the direct bound, so only
+	// one-hop promises matter. Non-metric matrices fall back to the
+	// iterative fixpoint.
+	tri bool
+}
+
+// newLookahead samples dm into a dense matrix for n nodes.
+func newLookahead(n int, dm DistanceModel) *lookahead {
+	lk := &lookahead{n: n, l: make([]Cycle, n*n)}
+	first := true
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			t := dm.MinTransit(s, d)
+			if t == 0 {
+				t = 1
+			}
+			lk.l[s*n+d] = t
+			if s != d && (first || t < lk.min) {
+				lk.min, first = t, false
+			}
+		}
+	}
+	if first {
+		lk.min = 1
+	}
+	lk.tri = lk.triangular()
+	return lk
+}
+
+// triangular checks the triangle inequality over all off-diagonal triples.
+// O(n^3) once at construction; n is the node count, so this is trivial.
+func (lk *lookahead) triangular() bool {
+	for a := 0; a < lk.n; a++ {
+		for b := 0; b < lk.n; b++ {
+			if b == a {
+				continue
+			}
+			for c := 0; c < lk.n; c++ {
+				if c == a || c == b {
+					continue
+				}
+				if lk.at(a, c) > lk.at(a, b)+lk.at(b, c) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// at returns L[src][dst].
+func (lk *lookahead) at(src, dst int) Cycle { return lk.l[src*lk.n+dst] }
+
+// SetLookahead installs a per-pair lookahead matrix derived from dm (nil
+// restores the uniform default: every pair at the engine's window). The
+// matrix bounds how far one shard's horizon may trail another's watermark in
+// watermark sync mode, and sharpens the delivery-violation diagnostics in
+// both modes. Call before Run.
+func (e *ShardedEngine) SetLookahead(dm DistanceModel) {
+	if dm == nil {
+		e.look = nil
+		return
+	}
+	e.look = newLookahead(len(e.shards), dm)
+}
+
+// pairLookahead returns the lookahead bound for (src,dst): the matrix entry
+// when a matrix is installed, the uniform window otherwise.
+func (e *ShardedEngine) pairLookahead(src, dst int) Cycle {
+	if e.look != nil {
+		return e.look.at(src, dst)
+	}
+	return e.window
+}

@@ -19,7 +19,8 @@ RAW="$(mktemp)"
 RAWC="$(mktemp)"
 RAWI="$(mktemp)"
 RAWS="$(mktemp)"
-trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS"' EXIT
+RAWW="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS" "$RAWW"' EXIT
 
 # Host context recorded into every generated section: benchmark numbers are
 # meaningless without the parallelism they ran at.
@@ -58,7 +59,7 @@ END { exit bad }' "$RAW" || { echo "bench.sh: compiled dispatch allocation regre
 # accounting somewhere).
 MJSON="$(mktemp)"
 SJSON="$(mktemp)"
-trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS" "$MJSON" "$SJSON"' EXIT
+trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS" "$RAWW" "$MJSON" "$SJSON"' EXIT
 go run ./cmd/flashsim -app fft -procs 4 -scale 256 -metrics-out "$MJSON" -json >"$SJSON" 2>/dev/null
 METRIC_CYCLES="$(sed -n 's/.*"flash_cycles": *\([0-9]*\).*/\1/p' "$MJSON" | head -1)"
 STATS_CYCLES="$(sed -n 's/.*"Elapsed": *\([0-9]*\).*/\1/p' "$SJSON" | head -1)"
@@ -166,17 +167,91 @@ if ! diff <(cycles_of "$RAWC") <(cycles_of "$RAWS") >/dev/null; then
 	exit 1
 fi
 
+# Fig 4.1 macros under watermark synchronization (sharded engine, per-pair
+# frontier scheduling instead of the full window barrier). flash_cycles must
+# stay bit-identical to the sequential baseline.
+T_WM="$(now_s)"
+FLASHSIM_ENGINE=sharded FLASHSIM_ENGINE_SYNC=watermark go test -run '^$' \
+	-bench 'Fig41(FFT|LU|MP3D|Ocean)$' -count "$MACRO_COUNT" . | tee "$RAWW"
+WM_WALL="$(since "$T_WM")"
+if ! diff <(cycles_of "$RAWC") <(cycles_of "$RAWW") >/dev/null; then
+	echo "bench.sh: flash_cycles diverge between barrier and watermark sync" >&2
+	diff <(cycles_of "$RAWC") <(cycles_of "$RAWW") >&2 || true
+	exit 1
+fi
+
+# engine_profile app sync: run one app on the sharded engine with the given
+# sync scheme and summarize its self-profile from the metrics snapshot:
+# synchronization operations (absolute and per 1k events), window/burst
+# counts with the empty fraction, and the wait/solve phase times.
+engine_profile() {
+	local app="$1" sync="$2" pj
+	pj="$(mktemp)"
+	go run ./cmd/flashsim -app "$app" -procs 16 -scale 8 \
+		-engine sharded -engine-sync "$sync" -metrics-out "$pj" >/dev/null 2>&1
+	awk '
+	{ v = $NF; gsub(/,/, "", v) }
+	/flashsim_engine_windows_total\{/       { windows += v }
+	/flashsim_engine_empty_windows_total\{/ { empty += v }
+	/flashsim_engine_barrier_wait_ns_total\{/ { bwait += v }
+	/flashsim_engine_horizon_wait_ns_total\{/ { hwait += v }
+	/"flashsim_engine_solve_ns_total"/      { solve += v }
+	/flashsim_engine_sync_ops_total\{/      { ops += v }
+	/"flashsim_sim_events_total"/           { ev += v }
+	END {
+		ef = windows > 0 ? empty / windows : 0
+		opk = ev > 0 ? ops * 1000 / ev : 0
+		printf "{\"sync_ops\": %d, \"events\": %d, \"sync_ops_per_kevent\": %.1f, \"windows\": %d, \"empty_window_frac\": %.3f, \"barrier_wait_ns\": %d, \"horizon_wait_ns\": %d, \"solve_ns\": %d}", \
+			ops, ev, opk, windows, ef, bwait, hwait, solve
+	}' "$pj"
+	rm -f "$pj"
+}
+
+PROFILE_JSON=""
+GE5=0
+for app in fft lu mp3d ocean; do
+	pb="$(engine_profile "$app" barrier)"
+	pw="$(engine_profile "$app" watermark)"
+	ob="$(printf '%s' "$pb" | sed -n 's/.*"sync_ops": \([0-9]*\).*/\1/p')"
+	ow="$(printf '%s' "$pw" | sed -n 's/.*"sync_ops": \([0-9]*\).*/\1/p')"
+	ratio="$(awk -v a="$ob" -v b="$ow" 'BEGIN { printf "%.2f", (b > 0 ? a / b : 0) }')"
+	if awk -v r="$ratio" 'BEGIN { exit !(r >= 5) }'; then GE5=$((GE5 + 1)); fi
+	echo "bench.sh: $app sync ops barrier=$ob watermark=$ow (${ratio}x fewer)"
+	PROFILE_JSON="$PROFILE_JSON      \"$app\": {
+        \"barrier\": $pb,
+        \"watermark\": $pw,
+        \"sync_op_ratio\": $ratio
+      },
+"
+done
+# The watermark scheme's reason to exist: at least two Fig 4.1 apps must see
+# a >= 5x synchronization-operation reduction over the window barrier.
+if [ "$GE5" -lt 2 ]; then
+	echo "bench.sh: watermark sync-op reduction below 5x on $GE5 app(s), need >= 2" >&2
+	exit 1
+fi
+PROFILE_JSON="${PROFILE_JSON%,
+}"
+
 {
 	printf '  "engine": {\n'
-	printf '    "note": "Fig 4.1 macros under both event engines (FLASHSIM_ENGINE), %s runs each; flash_cycles are asserted bit-identical across engines; sharded speedup needs host_cpus > 1",\n' "$MACRO_COUNT"
+	printf '    "note": "Fig 4.1 macros under both event engines (FLASHSIM_ENGINE) and both sharded sync schemes (FLASHSIM_ENGINE_SYNC), %s runs each; flash_cycles are asserted bit-identical across engines and schemes; sharded speedup needs host_cpus > 1",\n' "$MACRO_COUNT"
 	printf '    "gomaxprocs": %s,\n' "$GOMAXPROCS_VAL"
 	printf '    "host_cpus": %s,\n' "$HOST_CPUS"
 	printf '    "wall_seconds": %s,\n' "$ENGINE_WALL"
+	printf '    "watermark_wall_seconds": %s,\n' "$WM_WALL"
 	printf '    "seq": {\n'
 	macro_json "$RAWC"
 	printf '    },\n'
 	printf '    "sharded": {\n'
 	macro_json "$RAWS"
+	printf '    },\n'
+	printf '    "sharded_watermark": {\n'
+	macro_json "$RAWW"
+	printf '    },\n'
+	printf '    "profile": {\n'
+	printf '      "note": "engine self-profile per app at procs 16 scale 8 (flashsim -metrics-out): sync ops are lock acquisitions, condition sleeps, and shared-state scan steps; watermark must cut them >= 5x vs the window barrier on >= 2 apps",\n'
+	printf '%s\n' "$PROFILE_JSON"
 	printf '    }\n'
 	printf '  },\n'
 } >>"$OUT"
