@@ -8,7 +8,12 @@ package sim
 //
 // MinTransit(src, dst) must LOWER-bound every actual delivery latency the
 // model will ever produce for that pair: a delivery whose transit undercuts
-// it violates the conservative synchronization contract and panics.
+// it violates the conservative synchronization contract and panics. That is
+// the ONLY requirement — watermark safety does not depend on any relation
+// between the matrix and the engine's window (the store-visibility
+// quantum), because the horizon solver caps every shard at its own minimum
+// round trip through a peer (see decide in watermark.go), so within-window
+// echo chains are bounded by the matrix itself.
 type DistanceModel interface {
 	// MinTransit returns the minimum cycles between a send at src and its
 	// arrival at dst. Must be >= 1 for src != dst and stable for the
@@ -24,6 +29,12 @@ type lookahead struct {
 	n   int
 	l   []Cycle // l[src*n+dst]
 	min Cycle   // min over all pairs src != dst
+	// rt[b] is shard b's minimum round trip through any peer: min over
+	// c != b of l[b][c] + l[c][b] (noCap when n == 1). It lower-bounds how
+	// soon a causal chain rooted at one of b's own events can echo an
+	// arrival back to b, so the watermark solver caps b's horizon at
+	// next[b] + rt[b].
+	rt []Cycle
 	// tri reports whether the matrix satisfies the triangle inequality
 	// (L[a][c] <= L[a][b] + L[b][c] for all distinct a,b,c). Metric-derived
 	// models (uniform transit, mesh hop distance) always do, and it lets the
@@ -52,6 +63,18 @@ func newLookahead(n int, dm DistanceModel) *lookahead {
 	}
 	if first {
 		lk.min = 1
+	}
+	lk.rt = make([]Cycle, n)
+	for b := 0; b < n; b++ {
+		lk.rt[b] = noCap
+		for c := 0; c < n; c++ {
+			if c == b {
+				continue
+			}
+			if v := lk.l[b*n+c] + lk.l[c*n+b]; v < lk.rt[b] {
+				lk.rt[b] = v
+			}
+		}
 	}
 	lk.tri = lk.triangular()
 	return lk

@@ -38,8 +38,10 @@ import (
 //     and mesh both do), a null message relayed through an intermediate
 //     shard can never beat the direct pair bound, so the Chandy-Misra-Bryant
 //     fixpoint collapses to a closed form over next-event times —
-//     hz[b] = min(cap, min over event-holding a != b of next[a] + L[a][b])
-//     — solved in one O(n) pass (min/second-min for uniform lookahead).
+//     hz[b] = min(cap, next[b]+rt[b], min over event-holding a != b of
+//     next[a] + L[a][b]), where rt[b] is b's minimum round trip through any
+//     peer, bounding echoes of b's own sends — solved in one O(n) pass
+//     (min/second-min for uniform lookahead).
 //   - A non-metric matrix falls back to the iterative Gauss-Seidel fixpoint
 //     over the persistent frontier array, with idle shards promising
 //     silence up to min(horizon, next event).
@@ -359,8 +361,21 @@ func (e *ShardedEngine) decide(st *wmState) {
 	// Direct solve. With a triangle-inequality matrix a relayed promise
 	// never beats the direct pair bound, and committed frontiers never
 	// exceed a holder's next-event time, so the null-message fixpoint is
-	// simply hz[b] = min(eff, min over holders a != b of next[a]+L[a][b]).
-	// Uniform lookahead reduces that to min/second-min in O(1) per shard.
+	// simply
+	//
+	//	hz[b] = min(eff, next[b]+rt[b], min over holders a != b of next[a]+L[a][b])
+	//
+	// where rt[b] is b's minimum round trip through any peer (2W uniform).
+	// The self term bounds echo chains rooted at b's OWN events: an event b
+	// executes at t >= next[b] can trigger a peer delivery whose handler
+	// sends back to b, landing no earlier than t + rt[b] (longer relays
+	// b->c->..->b fold onto the best two-hop round trip by the triangle
+	// inequality) — exactly the bound the iterative fixpoint enforces by
+	// stalling holders' frontiers at their next-event times. Without it a
+	// shard whose peers hold no events would see an unbounded horizon,
+	// execute far-future events, and later receive the echo below its
+	// committed frontier. Uniform lookahead reduces the holder scan to
+	// min/second-min in O(1) per shard.
 	st.tasks = st.tasks[:0]
 	st.head = 0
 	steps := 0
@@ -376,8 +391,13 @@ func (e *ShardedEngine) decide(st *wmState) {
 				bound = m2
 			}
 			hz = bound + e.window
+			if n > 1 {
+				if v := e.nextS[b] + 2*e.window; v < hz {
+					hz = v
+				}
+			}
 		} else {
-			hz = noCap
+			hz = e.nextS[b] + e.look.rt[b]
 			for a := range e.shards {
 				if a == b || !e.hasS[a] {
 					continue
@@ -399,8 +419,8 @@ func (e *ShardedEngine) decide(st *wmState) {
 		e.wmSolveOp += uint64(steps)
 	}
 	if len(st.tasks) == 0 {
-		// Unreachable: the m1 holder's bound is at least m2+L > m1, and the
-		// limit/gate checks above ensured eff > m1.
+		// Unreachable: the m1 holder's bound is at least min(m2+L, m1+rt),
+		// both > m1, and the limit/gate checks above ensured eff > m1.
 		panic("sim: watermark scheduler stalled with pending work (lookahead bug)")
 	}
 	st.cond.Broadcast()

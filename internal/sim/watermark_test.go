@@ -143,6 +143,62 @@ func TestWatermarkDifferentialTortureNonuniform(t *testing.T) {
 	}
 }
 
+// TestWatermarkSelfEchoOrdering pins the self-rooted echo bound in the
+// closed-form horizon solve: with no flush gate and no limit, a shard whose
+// peers hold no events must still cap its horizon at its own next event plus
+// the minimum round trip, because one of its own sends can trigger a reply
+// that lands between its events. Node 0 holds events at 10 and 100; event
+// @10 delivers 0->1@15 whose handler delivers 1->0@20 — the reply must run
+// before n0@100, as on the sequential engine. An uncapped horizon executes
+// n0@100 first and the shard clock runs backwards when the echo arrives.
+func TestWatermarkSelfEchoOrdering(t *testing.T) {
+	run := func(b sim.Backend) string {
+		var log []string
+		b.Node(0).At(10, func() {
+			log = append(log, fmt.Sprintf("n0@%d", b.Node(0).Now()))
+			b.Node(0).Deliver(15, 0, 1, 1, func() {
+				log = append(log, fmt.Sprintf("n1@%d", b.Node(1).Now()))
+				b.Node(1).Deliver(20, 1, 0, 1, func() {
+					log = append(log, fmt.Sprintf("reply@%d", b.Node(0).Now()))
+				})
+			})
+		})
+		b.Node(0).At(100, func() {
+			log = append(log, fmt.Sprintf("n0@%d", b.Node(0).Now()))
+		})
+		if err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, " ")
+	}
+	want := run(sim.NewEngine())
+	// flatDist forces the matrix branch of the direct solve (2 nodes have no
+	// off-diagonal triples, so the matrix is trivially metric); nil takes the
+	// uniform min/second-min branch. Both omit the flush gate and the limit.
+	for _, dm := range []sim.DistanceModel{nil, flatDist(5)} {
+		for _, workers := range []int{1, 2} {
+			e := sim.NewShardedEngine(2, 5)
+			e.SetSync(sim.SyncWatermark)
+			e.SetLookahead(dm)
+			e.Workers = workers
+			if got := run(e); got != want {
+				t.Fatalf("matrix=%v workers=%d: order %q, want %q", dm != nil, workers, got, want)
+			}
+		}
+	}
+}
+
+// flatDist is a uniform distance model expressed as a matrix, so the solver
+// takes the matrix code path instead of the uniform fast path.
+type flatDist sim.Cycle
+
+func (f flatDist) MinTransit(src, dst int) sim.Cycle {
+	if src == dst {
+		return 1
+	}
+	return sim.Cycle(f)
+}
+
 // gridDist is a metric distance model (4x2 grid, Manhattan hops): it
 // satisfies the triangle inequality, so the scheduler solves horizons with
 // the closed-form one-pass path instead of the iterative fixpoint skewDist
@@ -172,6 +228,195 @@ func TestWatermarkDifferentialTortureMetric(t *testing.T) {
 	for _, workers := range []int{1, tortureNodes} {
 		got := runTortureDist(newWatermarkEngine(workers, dm), dm, 0)
 		compareTorture(t, fmt.Sprintf("watermark-grid/workers=%d", workers), want, got)
+	}
+}
+
+// runTortureEcho is the echo-chain torture: per-node event chains whose
+// deliveries travel at exactly the pair's minimum transit and whose handlers
+// echo straight back to the sender — the tightest causal loops the lookahead
+// matrix permits. quantum 0 runs with no store-visibility flush at all
+// (eff = noCap in every decide); a nonzero quantum installs the gate with
+// memsys views, covering matrices whose round trips are shorter than the
+// window. gap bounds each node's local chain spacing: large gaps leave lone
+// event-holders (whose horizons would be unbounded without the self
+// round-trip cap), small gaps pack several events per node into one
+// visibility window so echoes interleave with them below the gate.
+func runTortureEcho(b sim.Backend, dm sim.DistanceModel, quantum sim.Cycle, gap uint64) tortureResult {
+	transit := func(src, dst int) sim.Cycle {
+		if dm == nil {
+			return tortureWindow
+		}
+		return dm.MinTransit(src, dst)
+	}
+	var store *memsys.Store
+	var views []*memsys.View
+	if quantum != 0 {
+		store = memsys.NewStore(tortureWords * 8)
+		views = make([]*memsys.View, tortureNodes)
+		for i := range views {
+			views[i] = memsys.NewView(store)
+		}
+		b.SetQuantum(quantum, func() {
+			for _, v := range views {
+				v.Flush()
+			}
+		})
+	}
+
+	logs := make([][]uint64, tortureNodes)
+	rngs := make([]uint64, tortureNodes)
+	seqs := make([]uint64, tortureNodes)
+	for i := range rngs {
+		rngs[i] = uint64(0x9e3779b97f4a7c15 * uint64(i+1))
+	}
+	// send dispatches a minimum-transit delivery src->dst; its handler logs,
+	// optionally stores, and echoes back to src with depth-1 until the chain
+	// dies, producing src->dst->src->... ping-pong at the matrix bound.
+	var send func(src, dst, depth int, payload uint64)
+	send = func(src, dst, depth int, payload uint64) {
+		s := b.Node(src)
+		at := s.Now() + transit(src, dst)
+		seqs[src]++
+		s.Deliver(at, src, dst, seqs[src], func() {
+			d := b.Node(dst)
+			logs[dst] = append(logs[dst], uint64(d.Now())<<24|uint64(src)<<8|uint64(depth))
+			if views != nil {
+				views[dst].Store(payload%tortureWords, payload^uint64(d.Now()))
+			}
+			if depth > 0 {
+				send(dst, src, depth-1, payload>>1)
+			}
+		})
+	}
+	var tick func(i, n int)
+	tick = func(i, n int) {
+		s := b.Node(i)
+		r := xorshift(&rngs[i])
+		logs[i] = append(logs[i], uint64(s.Now())<<24|uint64(i)<<16|r&0xffff)
+		switch r % 3 {
+		case 0:
+			send(i, int((r>>8)%tortureNodes), int(r>>4%4), r)
+		case 1:
+			if views != nil {
+				logs[i] = append(logs[i], views[i].Load((r>>4)%tortureWords)<<1|1)
+			}
+		}
+		if n > 0 {
+			s.After(1+sim.Cycle(r%gap), func() { tick(i, n-1) })
+		}
+	}
+	for i := 0; i < tortureNodes; i++ {
+		i := i
+		b.Node(i).At(sim.Cycle(1+i), func() { tick(i, tortureSteps/3) })
+	}
+	res := tortureResult{err: b.Run()}
+	res.logs = logs
+	if store != nil {
+		for _, v := range views {
+			v.Flush()
+		}
+		res.words = make([]uint64, tortureWords)
+		for w := range res.words {
+			res.words[w] = store.Load(uint64(w))
+		}
+	}
+	res.executed = b.ExecutedEvents()
+	for _, s := range seqs {
+		res.sends += s
+	}
+	res.now = b.Now()
+	return res
+}
+
+// TestWatermarkDifferentialTortureFlushFree pins the self-echo horizon cap
+// at torture scale: no flush gate, no limit, sparse events, minimum-transit
+// echo chains — under uniform, metric (closed-form), and non-metric
+// (fixpoint) lookahead. Before the cap, a shard alone in holding events ran
+// unboundedly far ahead and echoes landed below its committed frontier.
+func TestWatermarkDifferentialTortureFlushFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dm   sim.DistanceModel
+	}{{"uniform", nil}, {"grid", gridDist{}}, {"skew", skewDist{}}} {
+		want := runTortureEcho(sim.NewEngine(), tc.dm, 0, 499)
+		for _, workers := range []int{1, 2, tortureNodes} {
+			got := runTortureEcho(newWatermarkEngine(workers, tc.dm), tc.dm, 0, 499)
+			compareTorture(t, fmt.Sprintf("echo-%s/workers=%d", tc.name, workers), want, got)
+		}
+	}
+}
+
+// nearDist is a metric model whose round trips (8..) undercut the store
+// window (16): echo chains complete within a single visibility quantum, so
+// the flush gate alone cannot serialize them — safety must come from the
+// solver's round-trip cap. gridDist (min round trip 16 = the window) sits
+// exactly at the masking threshold and cannot catch that regression.
+type nearDist struct{}
+
+func (nearDist) MinTransit(src, dst int) sim.Cycle {
+	if src == dst {
+		return 1
+	}
+	d := src - dst
+	if d < 0 {
+		d = -d
+	}
+	return sim.Cycle(3 + d) // 4..10, all below the window of 16
+}
+
+// TestWatermarkGatedSelfEchoWithinWindow pins the issue the flush gate
+// alone cannot mask: a matrix round trip (8) below the window (16) lets an
+// echo chain complete inside one visibility quantum, so the gate cap on the
+// horizon does not order it — the solver's self round-trip cap must. Node 0
+// holds events at 2 and 12 in the first window; event @2 sends 0->1@6 whose
+// handler replies 1->0@10, and the reply must run before n0@12. Node 1's
+// far event keeps it from draining early without bounding node 0's horizon.
+func TestWatermarkGatedSelfEchoWithinWindow(t *testing.T) {
+	run := func(b sim.Backend) string {
+		b.SetQuantum(16, func() {})
+		var log []string
+		b.Node(0).At(2, func() {
+			log = append(log, fmt.Sprintf("n0@%d", b.Node(0).Now()))
+			b.Node(0).Deliver(6, 0, 1, 1, func() {
+				log = append(log, fmt.Sprintf("n1@%d", b.Node(1).Now()))
+				b.Node(1).Deliver(10, 1, 0, 1, func() {
+					log = append(log, fmt.Sprintf("reply@%d", b.Node(0).Now()))
+				})
+			})
+		})
+		b.Node(0).At(12, func() {
+			log = append(log, fmt.Sprintf("n0@%d", b.Node(0).Now()))
+		})
+		b.Node(1).At(200, func() {
+			log = append(log, fmt.Sprintf("n1@%d", b.Node(1).Now()))
+		})
+		if err := b.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, " ")
+	}
+	want := run(sim.NewEngine())
+	for _, workers := range []int{1, 2} {
+		e := sim.NewShardedEngine(2, 16)
+		e.SetSync(sim.SyncWatermark)
+		e.SetLookahead(flatDist(4))
+		e.Workers = workers
+		if got := run(e); got != want {
+			t.Fatalf("workers=%d: order %q, want %q", workers, got, want)
+		}
+	}
+}
+
+// TestWatermarkDifferentialTortureShortRoundTrip covers watermark safety
+// when the lookahead matrix's minimum round trip is well below the engine
+// window: within-window echoes at minimum transit, with the store gate
+// installed, must stay bit-identical to the sequential engine.
+func TestWatermarkDifferentialTortureShortRoundTrip(t *testing.T) {
+	dm := nearDist{}
+	want := runTortureEcho(sim.NewEngine(), dm, tortureWindow, 24)
+	for _, workers := range []int{1, 2, tortureNodes} {
+		got := runTortureEcho(newWatermarkEngine(workers, dm), dm, tortureWindow, 24)
+		compareTorture(t, fmt.Sprintf("near/workers=%d", workers), want, got)
 	}
 }
 
