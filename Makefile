@@ -15,7 +15,9 @@ build:
 # watermarks) — simulated cycles must be bit-identical across all of them.
 # The metrics passes pin the observability layer: registry instruments exact
 # under the race detector, and metrics-enabled runs cycle-identical to the
-# golden digests.
+# golden digests. The sampled passes smoke-test the FLASHSIM_SAMPLE process
+# default end-to-end and run the sampling determinism suite (off-switch
+# bit-identity, repeatability, env resolution) under the race detector.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
 	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestGolden
@@ -25,6 +27,8 @@ verify:
 	$(GO) test -race ./internal/sim -run 'Sharded|Watermark'
 	$(GO) test -race ./internal/metrics
 	$(GO) test -count=1 ./internal/exp -run TestMetrics
+	FLASHSIM_SAMPLE=default $(GO) test -count=1 ./internal/exp -run TestSampledSmoke
+	$(GO) test -race -count=1 ./internal/exp -run TestSampled
 
 test:
 	$(GO) test ./...

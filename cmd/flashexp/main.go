@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"flashsim/internal/arch"
@@ -57,6 +58,10 @@ func main() {
 	ppDispatch := flag.String("pp-dispatch", "", "PP emulator engine: compiled or interp (host speed only; simulated results are identical)")
 	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
 	engineSync := flag.String("engine-sync", "", "sharded engine synchronization: barrier or watermark (host speed only; simulated results are identical)")
+	netModel := flag.String("net", "", "network latency model: uniform (paper average) or mesh (changes simulated timing)")
+	sample := flag.String("sample", "", "sampled-execution schedule for the sampled experiment: default or detail/stride[/warmup] cycles")
+	sampleApps := flag.String("sample-apps", "", "comma-separated app subset for the sampled experiment (empty = full Fig 4.1 suite)")
+	cacheBytes := flag.Int("cache", 0, "processor cache size in bytes (0 = paper default 1 MB)")
 	metricsOn := flag.Bool("metrics", false, "collect host-side metrics; prints per-experiment host totals to stderr")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (implies -metrics)")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
@@ -109,6 +114,29 @@ func main() {
 	if *procs > 0 {
 		o.Procs = *procs
 	}
+	o.CacheBytes = *cacheBytes
+	switch *netModel {
+	case "":
+		// Paper default: uniform average transit.
+	case "uniform":
+		o.NetModel = arch.NetUniform
+	case "mesh":
+		o.NetModel = arch.NetMesh
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp: unknown net model %q\n", *netModel)
+		os.Exit(2)
+	}
+	if *sample != "" {
+		spec, err := arch.ParseSampleSpec(*sample)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp: %v\n", err)
+			os.Exit(2)
+		}
+		o.Sample = spec
+	}
+	if *sampleApps != "" {
+		o.SampleApps = strings.Split(*sampleApps, ",")
+	}
 
 	type experiment struct {
 		name string
@@ -130,6 +158,7 @@ func main() {
 		{"sec5.3", func() (string, error) { return exp.Sec53(o) }},
 		{"protocompare", func() (string, error) { return exp.ProtoCompare(o) }},
 		{"ablations", func() (string, error) { return exp.Ablations(o) }},
+		{"sampled", func() (string, error) { return exp.Sampled(o) }},
 	}
 	byName := map[string]experiment{}
 	for _, e := range all {
@@ -242,6 +271,8 @@ func profileMain(args []string) {
 	engine := fs.String("engine", "", "event engine to profile: seq or sharded (default sharded)")
 	engineSync := fs.String("engine-sync", "", "sharded engine synchronization to profile: barrier or watermark (default barrier)")
 	workers := fs.Int("workers", 0, "sharded engine worker-pool size (0 = GOMAXPROCS)")
+	netModel := fs.String("net", "", "network latency model: uniform (paper average) or mesh (changes simulated timing)")
+	sample := fs.String("sample", "", "profile under a sampled-execution schedule: default or detail/stride[/warmup] cycles")
 	metricsOut := fs.String("metrics-out", "", "write the merged metrics snapshots as JSON to this file")
 	pprofDir := fs.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
 	fs.Parse(args)
@@ -256,6 +287,25 @@ func profileMain(args []string) {
 		os.Exit(1)
 	}
 	o := exp.Options{Scale: *scale, Verify: !*noverify, Procs: *procs, EngineWorkers: *workers}
+	switch *netModel {
+	case "":
+		// Paper default: uniform average transit.
+	case "uniform":
+		o.NetModel = arch.NetUniform
+	case "mesh":
+		o.NetModel = arch.NetMesh
+	default:
+		fmt.Fprintf(os.Stderr, "flashexp profile: unknown net model %q\n", *netModel)
+		os.Exit(2)
+	}
+	if *sample != "" {
+		spec, err := arch.ParseSampleSpec(*sample)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp profile: %v\n", err)
+			os.Exit(2)
+		}
+		o.Sample = spec
+	}
 	switch *engine {
 	case "":
 		// Profile harness default: the sharded engine.

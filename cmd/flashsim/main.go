@@ -7,6 +7,7 @@
 //	         [-scale 4] [-placement rr|ft|node0] [-nospec] [-ppmode dual|single|dlx]
 //	         [-pp-dispatch compiled|interp] [-engine seq|sharded]
 //	         [-engine-sync barrier|watermark] [-net uniform|mesh]
+//	         [-sample default|detail/stride[/warmup]]
 //	         [-json] [-trace out.jsonl]
 //	         [-trace-format jsonl|chrome] [-occ-window N]
 //	         [-metrics] [-metrics-out metrics.json] [-pprof dir]
@@ -53,12 +54,14 @@ func main() {
 	engine := flag.String("engine", "", "event engine: seq or sharded (host speed only; simulated results are identical)")
 	engineSync := flag.String("engine-sync", "", "sharded engine synchronization: barrier or watermark (host speed only; simulated results are identical)")
 	netModel := flag.String("net", "uniform", "network latency model: uniform (paper average) or mesh (per-pair 2-D mesh transit; changes simulated timing)")
+	sample := flag.String("sample", "", "sampled execution schedule: off, default, or detail/stride[/warmup] cycles (changes simulated timing; report gains an extrapolated estimate)")
 	proto := flag.String("protocol", "dynptr", "coherence protocol: dynptr, bitvec")
 	membytes := flag.Int("membytes", 8<<20, "memory bytes per node")
 	jsonOut := flag.Bool("json", false, "emit the statistics report as JSON on stdout")
 	traceFile := flag.String("trace", "", "write a simulation event trace to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace file format: jsonl or chrome")
 	occWindow := flag.Uint64("occ-window", 0, "sample memory/PP occupancy per window of N cycles (0 = off)")
+	limit := flag.Uint64("limit", 0, "abort if the simulation passes this many cycles (0 = no limit)")
 	metricsOn := flag.Bool("metrics", false, "collect host-side metrics and print the engine profile to stderr")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file (implies -metrics)")
 	pprofDir := flag.String("pprof", "", "capture cpu.pprof and heap.pprof into this directory")
@@ -154,6 +157,13 @@ func main() {
 	default:
 		fatal("unknown net model %q", *netModel)
 	}
+	if *sample != "" {
+		spec, err := arch.ParseSampleSpec(*sample)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg.Sample = spec
+	}
 
 	prof, err := cliutil.StartPprof(*pprofDir)
 	if err != nil {
@@ -198,7 +208,15 @@ func main() {
 		fatal("%v", err)
 	}
 	start := time.Now()
-	if err := w.Run(a.Run, 0); err != nil {
+	if err := w.Run(a.Run, *limit); err != nil {
+		if os.Getenv("FLASHSIM_DEBUG_DUMP") != "" {
+			for i, n := range m.Nodes {
+				fmt.Fprintf(os.Stderr, "cpu%d: %s\n", i, n.CPU.DebugState())
+				if n.Magic != nil {
+					fmt.Fprintf(os.Stderr, "magic%d: %s\n", i, n.Magic.DebugState())
+				}
+			}
+		}
 		fatal("%v", err)
 	}
 	if err := a.Verify(); err != nil {

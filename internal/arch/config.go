@@ -254,6 +254,15 @@ type Config struct {
 	// is a model knob, not a host-speed knob.
 	NetModel NetModel
 
+	// Sample configures SMARTS-style sampled execution: functional
+	// fast-forward between periodic detailed measurement windows. The zero
+	// value (and any Stride-0 spec) keeps every cycle detailed and is
+	// bit-identical to no sampling at all. Enabling it is an INTENTIONAL
+	// TIMING-MODEL CHANGE — read elapsed time from the extrapolated
+	// estimate in stats.Report.Sampled. Ignored by ideal machines (their
+	// protocol already runs in zero time).
+	Sample SampleSpec
+
 	Timing Timing
 
 	// MemBytesPerNode sizes each node's local memory slice. Placement maps
@@ -297,6 +306,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MemBytesPerNode <= 0 || c.MemBytesPerNode%PageSize != 0 {
 		return fmt.Errorf("arch: MemBytesPerNode %d must be a positive multiple of the page size", c.MemBytesPerNode)
+	}
+	if err := c.Sample.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

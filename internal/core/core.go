@@ -105,6 +105,26 @@ func resolveSync(s arch.EngineSync) arch.EngineSync {
 	return arch.EngineSyncBarrier
 }
 
+// resolveSample maps a zero SampleSpec to the process default: the
+// FLASHSIM_SAMPLE environment variable if set (detail/stride[/warmup],
+// "default", or "off"), otherwise sampling stays off. An explicit non-zero
+// spec — including a Stride-0 "force off" spec like {Detail: 1} — wins over
+// the environment, mirroring FLASHSIM_ENGINE / FLASHSIM_ENGINE_SYNC.
+func resolveSample(s arch.SampleSpec) arch.SampleSpec {
+	if s != (arch.SampleSpec{}) {
+		return s
+	}
+	v := os.Getenv("FLASHSIM_SAMPLE")
+	if v == "" {
+		return s
+	}
+	parsed, err := arch.ParseSampleSpec(v)
+	if err != nil {
+		return s // a malformed env var must not change simulated behavior
+	}
+	return parsed
+}
+
 // SetTracer attaches tr to every component of the machine — processors,
 // controllers, memories, and the interconnect — replacing any previous
 // tracer (nil detaches). Call before Run.
@@ -171,6 +191,13 @@ func New(cfg arch.Config) (*Machine, error) {
 	if cfg.Timing.NetTransit == 0 {
 		cfg.Timing.NetTransit = uint32(network.AvgTransitFor(cfg.Nodes))
 	}
+	// Sampled execution applies to FLASH machines only: the ideal
+	// controller's protocol already runs in zero time, so a functional
+	// phase would change nothing it measures.
+	cfg.Sample = resolveSample(cfg.Sample)
+	if cfg.Kind == arch.KindIdeal {
+		cfg.Sample = arch.SampleSpec{}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -194,7 +221,13 @@ func New(cfg arch.Config) (*Machine, error) {
 	switch resolveEngine(cfg.Engine) {
 	case arch.EngineSharded:
 		se := sim.NewShardedEngine(cfg.Nodes, w)
-		if resolveSync(cfg.EngineSync) == arch.EngineSyncWatermark {
+		if cfg.Sample.Enabled() {
+			// Sampled execution runs fast-forward chains synchronously
+			// across node boundaries, so shards must execute on one
+			// goroutine in index order: force the single-worker barrier
+			// scheme (watermark scheduling buys nothing at one worker).
+			se.Workers = 1
+		} else if resolveSync(cfg.EngineSync) == arch.EngineSyncWatermark {
 			se.SetSync(sim.SyncWatermark)
 		}
 		if mesh != nil {
@@ -252,6 +285,17 @@ func New(cfg arch.Config) (*Machine, error) {
 		n.Ctl.Attach(n.CPU)
 		m.Net.Attach(id, n.Ctl)
 		m.Nodes = append(m.Nodes, n)
+	}
+	if cfg.Kind == arch.KindFLASH && cfg.Sample.Enabled() {
+		// Fast-forward chains hop node-to-node directly, bypassing the
+		// modeled network; give every controller the full peer table.
+		peers := make([]*magic.Magic, cfg.Nodes)
+		for i, n := range m.Nodes {
+			peers[i] = n.Magic
+		}
+		for _, n := range m.Nodes {
+			n.Magic.Peers = peers
+		}
 	}
 	return m, nil
 }

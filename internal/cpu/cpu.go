@@ -55,6 +55,11 @@ type RefSource interface {
 // the processor bus, at simulated time `at`.
 type Ctl interface {
 	FromProc(m arch.Msg, at sim.Cycle)
+	// FromProcFF is the functional fast-forward entry: the request is
+	// processed synchronously (possibly completing — Deliver — before the
+	// call returns) with at as its nominal arrival time. Only called on
+	// machines with sampling enabled.
+	FromProcFF(m arch.Msg, at sim.Cycle)
 }
 
 // Stats is the per-processor execution-time breakdown and miss census.
@@ -77,6 +82,15 @@ type Stats struct {
 	// the measured counterpart of the paper's contentionless Table 3.3
 	// latencies. Always on: recording is a few integer ops per miss.
 	ReadLat [arch.NumMissClasses]trace.Histogram
+
+	// Sampled-execution counters (zero unless arch.Config.Sample is
+	// enabled). FFWork counts non-synchronization references retired in
+	// fast-forward phases; WinWork[w] counts them per detailed measurement
+	// window w. Synchronization references are excluded from both: spin
+	// loops retire at a timing-dependent rate, so they would bias the
+	// work-per-cycle extrapolation that stats.Collect builds from these.
+	FFWork  uint64
+	WinWork []uint64
 
 	FinishedAt sim.Cycle
 	Finished   bool
@@ -118,6 +132,12 @@ type mshrEntry struct {
 	// retry convoys on contended lines dissolve instead of livelocking.
 	retries int
 
+	// ffIssued marks a miss issued during a fast-forward phase: its fill
+	// skips bus reservations and is excluded from the read-latency
+	// histograms (its issue time carries fast-forward charges, not
+	// detailed timing).
+	ffIssued bool
+
 	issuedAt sim.Cycle // virtual time the triggering reference missed
 	tid      uint64    // trace id of the miss-issue event (0 = untraced)
 
@@ -154,6 +174,23 @@ type CPU struct {
 	mem   *memsys.View // this node's window-quantized view of the backing store
 	chunk sim.Cycle
 
+	// Sampled execution: phase is a pure function of the cycle (spec is
+	// immutable after construction), so every decision below is
+	// deterministic across engine backends and worker counts.
+	sampling bool
+	spec     arch.SampleSpec
+	ffChunk  sim.Cycle // longer run slices between yields while fast-forwarding
+	// phaseDet/phaseEnd cache the schedule phase for the run loop's
+	// monotonic virtual clock: one compare per reference instead of a
+	// modulo (see SampleSpec.PhaseAt).
+	phaseDet bool
+	phaseEnd uint64
+	// srcNow is the virtual time current whenever the workload coroutine
+	// runs (stamped before every NextBatch/ReadDone): the thread only
+	// executes inside those calls, so FFLocalRead can phase-gate against
+	// the run loop's otherwise-local clock.
+	srcNow sim.Cycle
+
 	mshrs []mshrEntry
 	inUse int
 
@@ -166,6 +203,11 @@ type CPU struct {
 	blocked    blockReason
 	blockEntry int
 
+	// issuing marks the MSHR entry whose request is mid-flight through a
+	// synchronous fast-forward chain (-1 otherwise): if Deliver completes
+	// it before issue() returns, the run loop continues without blocking.
+	issuing int
+
 	instFrac uint32 // leftover instructions (< 4) not yet charged as a cycle
 	running  bool
 	done     bool
@@ -175,17 +217,45 @@ type CPU struct {
 // New creates a CPU. mem is this node's view of the machine-wide backing
 // store (8-byte words indexed by physical address / 8).
 func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, ctl Ctl, mem *memsys.View) *CPU {
-	return &CPU{
-		ID:    id,
-		Cache: NewCache(cfg.CacheSize, cfg.CacheWays),
-		eng:   eng,
-		t:     cfg.Timing,
-		cfg:   cfg,
-		ctl:   ctl,
-		mem:   mem,
-		chunk: 16,
-		mshrs: make([]mshrEntry, cfg.MSHRs),
+	if cfg.Sample.Enabled() {
+		// Synchronous fast-forward chains complete cross-node transfers in
+		// zero engine time, so the window-quantized store visibility would
+		// expose stale data mid-chain. Sampled execution is serialized
+		// (single engine worker), so publishing stores immediately is
+		// race-free and preserves coherence order.
+		mem.SetWriteThrough(true)
 	}
+	return &CPU{
+		ID:       id,
+		Cache:    NewCache(cfg.CacheSize, cfg.CacheWays),
+		eng:      eng,
+		t:        cfg.Timing,
+		cfg:      cfg,
+		ctl:      ctl,
+		mem:      mem,
+		chunk:    16,
+		sampling: cfg.Sample.Enabled(),
+		spec:     cfg.Sample,
+		ffChunk:  256,
+		issuing:  -1,
+		mshrs:    make([]mshrEntry, cfg.MSHRs),
+	}
+}
+
+// detailed reports whether cycle t falls in a detailed phase (always true
+// when sampling is off; one branch on the hot path).
+func (c *CPU) detailed(t sim.Cycle) bool {
+	return !c.sampling || c.spec.Detailed(uint64(t))
+}
+
+// phaseDetailed is the cached variant of detailed for the run loop's own
+// virtual clock, which only moves forward: a compare per call, refreshed
+// when the clock crosses a phase boundary. Only valid under sampling.
+func (c *CPU) phaseDetailed(t uint64) bool {
+	if t >= c.phaseEnd {
+		c.phaseDet, c.phaseEnd = c.spec.PhaseAt(t)
+	}
+	return c.phaseDet
 }
 
 // SetSource attaches the reference stream; onFinish fires when it ends.
@@ -206,9 +276,16 @@ func (c *CPU) run(vt sim.Cycle) {
 	if c.done {
 		return
 	}
+	// Fast-forward phases yield far less often: the processor's compute
+	// progress is functional there, so fine-grained interleaving with the
+	// (idle) detailed machinery buys nothing but event dispatches.
 	limit := vt + c.chunk
+	if c.sampling && !c.phaseDetailed(uint64(vt)) {
+		limit = vt + c.ffChunk
+	}
 	for {
 		if !c.hasPending {
+			c.srcNow = vt
 			ref, ok := c.nextRef()
 			if !ok {
 				c.done = true
@@ -220,6 +297,9 @@ func (c *CPU) run(vt sim.Cycle) {
 				return
 			}
 			vt += c.charge(&ref)
+			if c.sampling {
+				c.noteRef(vt, ref.Sync)
+			}
 			c.pending = ref
 			c.hasPending = true
 			c.pendingAt = vt
@@ -228,11 +308,39 @@ func (c *CPU) run(vt sim.Cycle) {
 			return // blocked; resume() restarts us
 		}
 		c.hasPending = false
+		if c.sampling && c.pendingAt > vt {
+			// A synchronous fast-forward chain completed the reference's
+			// miss inside tryRef and charged the stall; catch the virtual
+			// clock up to the fill.
+			vt = c.pendingAt
+		}
 		if vt >= limit {
 			c.eng.At(vt, func() { c.run(vt) })
 			return
 		}
 	}
+}
+
+// noteRef records one retired reference for the sampling estimator: work
+// (non-sync) references count against the fast-forward total or their
+// detailed measurement window, by the virtual time they were charged at.
+func (c *CPU) noteRef(vt sim.Cycle, sync bool) {
+	if sync {
+		return
+	}
+	t := uint64(vt)
+	if !c.phaseDetailed(t) {
+		c.Stats.FFWork++
+		return
+	}
+	if t < c.spec.Warmup {
+		return // warm-up prefix: detailed but unmeasured
+	}
+	w := c.spec.Window(t)
+	for len(c.Stats.WinWork) <= w {
+		c.Stats.WinWork = append(c.Stats.WinWork, 0)
+	}
+	c.Stats.WinWork[w]++
 }
 
 // nextRef takes the next reference from the current batch, refilling from
@@ -301,6 +409,7 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 	case arch.RefRead:
 		if st != Invalid {
 			c.load(ref)
+			c.srcNow = vt
 			c.src.ReadDone()
 			return true
 		}
@@ -312,6 +421,7 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 	case arch.RefRMW:
 		if st == Modified {
 			c.rmw(ref)
+			c.srcNow = vt
 			c.src.ReadDone()
 			return true
 		}
@@ -342,26 +452,56 @@ func (c *CPU) tryRef(vt sim.Cycle) bool {
 	if ent.upgrade {
 		c.Stats.UpgradeMisses++
 	}
-	c.issue(e, vt)
-
-	if ref.Kind == arch.RefRead || ref.Kind == arch.RefRMW {
-		c.block(blockMiss, e, vt)
-		ent.waiting = true
-		return false
-	}
 	// Non-blocking write: the store value queues on the MSHR and enters
 	// the backing view at fill, in program order with any later writes
 	// that merge into it. Applying at fill (ownership grant) rather than
 	// issue keeps cross-node same-word writes in coherence order, which
-	// the window-quantized store visibility requires.
-	ent.stores = append(ent.stores, pendingStore{addr: ref.Addr, val: ref.WVal})
+	// the window-quantized store visibility requires. Queued before issue:
+	// a fast-forward chain can complete the miss inside issue() itself.
+	if ref.Kind == arch.RefWrite {
+		ent.stores = append(ent.stores, pendingStore{addr: ref.Addr, val: ref.WVal})
+	}
+	c.issue(e, vt)
+
+	if ref.Kind == arch.RefRead || ref.Kind == arch.RefRMW {
+		if !ent.valid {
+			// The fast-forward chain filled the line synchronously; Deliver
+			// already applied the reference and charged the stall.
+			return true
+		}
+		c.block(blockMiss, e, vt)
+		ent.waiting = true
+		return false
+	}
 	return true
 }
 
 // issue sends the miss request across the processor bus to the controller.
+// Fast-forward issues charge the uncontended constants without reserving
+// the bus: no contention serialization, no occupancy accounting.
 func (c *CPU) issue(e int, vt sim.Cycle) {
 	ent := &c.mshrs[e]
 	req := vt + sim.Cycle(c.t.MissDetect)
+	if !c.detailed(req) {
+		ent.ffIssued = true
+		m := arch.Msg{
+			Type: ent.kind,
+			Addr: arch.Addr(ent.line << arch.LineShift),
+			Src:  c.ID,
+			Req:  c.ID,
+			Dst:  c.ID,
+			DB:   -1,
+		}
+		// The controller runs the whole chain — including remote handlers —
+		// before this call returns; issuing tells Deliver the run loop is
+		// live inside issue() so a completion needs no resume event.
+		prev := c.issuing
+		c.issuing = e
+		c.ctl.FromProcFF(m, req+sim.Cycle(c.t.BusTransit))
+		c.issuing = prev
+		return
+	}
+	ent.ffIssued = false
 	start, end := c.Bus.Reserve(req, sim.Cycle(c.t.BusTransit))
 	c.Stats.ContStall += start - req
 	if c.Tr.Active() {
@@ -391,7 +531,15 @@ func (c *CPU) issue(e int, vt sim.Cycle) {
 // processor bus at time `at`. Aux bit 0 of a data reply marks data that was
 // retrieved from a processor cache (dirty somewhere), bit 1 marks a remote
 // source node that is not the home — together they classify the miss.
-func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
+func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) { c.deliver(m, at, false) }
+
+// DeliverFF is the functional-chain delivery entry: the caller is a
+// fast-forward handler running synchronously, so the completion must use
+// fast-forward charging even when its nominal time lands inside a detailed
+// window (the detailed machinery was never engaged for this miss leg).
+func (c *CPU) DeliverFF(m arch.Msg, at sim.Cycle) { c.deliver(m, at, true) }
+
+func (c *CPU) deliver(m arch.Msg, at sim.Cycle, ff bool) {
 	line := m.Addr.Line()
 	e := c.findMSHR(line)
 	if e < 0 {
@@ -416,14 +564,20 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 		ent.retries++
 		jitter := (uint64(c.ID)*13 + uint64(ent.retries)*7) % 23
 		delay := sim.Cycle(c.t.NakBackoff)<<uint(sh) + sim.Cycle(jitter)
-		c.eng.At(at+delay, func() { c.issue(e, c.eng.Now()) })
+		c.eng.At(c.ffAt(at+delay), func() { c.issue(e, c.eng.Now()) })
 		return
 	}
 
 	// Fill the cache; stream the line across the bus. A fill marked
 	// invalidate-on-fill satisfies its reference but leaves no residency.
-	busStart, _ := c.Bus.Reserve(at, sim.Cycle(c.t.BusLineBusy))
-	fillAt := busStart
+	// Fast-forward fills (either end of the miss handled functionally)
+	// skip the bus reservation and the latency histograms; the cache-state
+	// transition and the miss census stay exact.
+	ffFill := ff || ent.ffIssued || !c.detailed(at)
+	fillAt := at
+	if !ffFill {
+		fillAt, _ = c.Bus.Reserve(at, sim.Cycle(c.t.BusLineBusy))
+	}
 	if !ent.invalOnFill {
 		newState := Shared
 		if ent.kind == arch.MsgGETX {
@@ -431,7 +585,7 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 		}
 		victim, vstate, evicted := c.Cache.Fill(line, newState)
 		if evicted {
-			c.evict(victim, vstate, fillAt)
+			c.evict(victim, vstate, fillAt, ffFill)
 		}
 		if c.Tr.Active() {
 			c.Tr.Emit(trace.Event{
@@ -448,15 +602,20 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 		})
 	}
 
-	// Classify read misses per Table 4.1 and histogram the latency.
+	// Classify read misses per Table 4.1 and histogram the latency. The
+	// class census is exact under sampling (classification depends on
+	// protocol state, not timing); the latency histogram only sees misses
+	// whose issue AND fill both ran detailed.
 	if ent.hasRef && ent.ref.Kind == arch.RefRead {
 		class := c.classify(m)
 		c.Stats.MissClass[class]++
-		lat := fillAt - ent.issuedAt
-		if fillAt < ent.issuedAt {
-			lat = 0
+		if !ffFill {
+			lat := fillAt - ent.issuedAt
+			if fillAt < ent.issuedAt {
+				lat = 0
+			}
+			c.Stats.ReadLat[class].Observe(uint64(lat))
 		}
-		c.Stats.ReadLat[class].Observe(uint64(lat))
 	}
 	if c.Tr.Active() {
 		c.Tr.Emit(trace.Event{
@@ -482,6 +641,7 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 			c.rmw(&ent.ref)
 		}
 		if ent.ref.Kind != arch.RefWrite {
+			c.srcNow = fillAt
 			c.src.ReadDone()
 			consumed = true
 		}
@@ -498,6 +658,27 @@ func (c *CPU) Deliver(m arch.Msg, at sim.Cycle) {
 	ent.hasRef = false
 	ent.waiting = false
 	c.inUse--
+	if e == c.issuing && !waiting && c.blocked == blockNone {
+		// Synchronous fast-forward completion: the run loop is live inside
+		// issue(), so charge the miss stall against the pending reference
+		// here and return — tryRef sees the freed entry and continues. The
+		// blocked check matters: issue() also runs from NAK-retry events,
+		// where a structurally blocked processor still needs the resume
+		// below (the run loop is not live there).
+		if consumed && fillAt > c.pendingAt {
+			stall := fillAt - c.pendingAt
+			switch {
+			case c.pending.Sync:
+				c.Stats.SyncStall += stall
+			case c.pending.Kind == arch.RefRead:
+				c.Stats.ReadStall += stall
+			default:
+				c.Stats.WriteStall += stall
+			}
+			c.pendingAt = fillAt
+		}
+		return
+	}
 	if waiting {
 		c.resume(fillAt, consumed)
 	} else if c.blocked == blockStructural {
@@ -531,6 +712,10 @@ func (c *CPU) resume(at sim.Cycle, consumed bool) {
 		return
 	}
 	c.blocked = blockNone
+	// A synchronous fast-forward chain can complete a miss with a nominal
+	// fill time behind this shard's clock (the chain ran on another node's
+	// clock); events must not be scheduled in the past.
+	at = c.ffAt(at)
 	// Charge the stall to the pending reference's category. A completion
 	// can land before the blocked reference's virtual issue time (the
 	// processor runs ahead of the clock within a chunk); that is a zero
@@ -555,6 +740,19 @@ func (c *CPU) resume(at sim.Cycle, consumed bool) {
 	c.eng.At(at, func() { c.run(at) })
 }
 
+// ffAt clamps an event time to the engine clock. Only meaningful under
+// sampling (and the identity otherwise): synchronous fast-forward chains
+// compute nominal times on the initiating node's clock, which can lie
+// behind this node's shard clock on the sharded engine.
+func (c *CPU) ffAt(at sim.Cycle) sim.Cycle {
+	if c.sampling {
+		if n := c.eng.Now(); at < n {
+			return n
+		}
+	}
+	return at
+}
+
 func (c *CPU) block(r blockReason, entry int, vt sim.Cycle) {
 	c.blocked = r
 	c.blockEntry = entry
@@ -562,8 +760,10 @@ func (c *CPU) block(r blockReason, entry int, vt sim.Cycle) {
 }
 
 // evict disposes of a victim line: Modified lines are written back, Shared
-// lines produce a replacement hint.
-func (c *CPU) evict(line uint64, st LineState, at sim.Cycle) {
+// lines produce a replacement hint. ff selects functional charging — set
+// when the fill that triggered the eviction was itself functional, so the
+// chain never re-enters the detailed machinery mid-flight.
+func (c *CPU) evict(line uint64, st LineState, at sim.Cycle, ff bool) {
 	addr := arch.Addr(line << arch.LineShift)
 	if c.Tr.Active() {
 		c.Tr.Emit(trace.Event{
@@ -573,13 +773,50 @@ func (c *CPU) evict(line uint64, st LineState, at sim.Cycle) {
 	}
 	if st == Modified {
 		c.Stats.Writebacks++
+		msg := arch.Msg{Type: arch.MsgWB, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}
+		if ff {
+			c.ctl.FromProcFF(msg, at+sim.Cycle(c.t.BusLineBusy))
+			return
+		}
 		_, end := c.Bus.Reserve(at, sim.Cycle(c.t.BusLineBusy))
-		c.ctl.FromProc(arch.Msg{Type: arch.MsgWB, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}, end)
+		c.ctl.FromProc(msg, end)
 		return
 	}
 	c.Stats.Hints++
+	msg := arch.Msg{Type: arch.MsgRPL, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}
+	if ff {
+		c.ctl.FromProcFF(msg, at+sim.Cycle(c.t.BusTransit))
+		return
+	}
 	_, end := c.Bus.Reserve(at, sim.Cycle(c.t.BusTransit))
-	c.ctl.FromProc(arch.Msg{Type: arch.MsgRPL, Addr: addr, Src: c.ID, Req: c.ID, Dst: c.ID, DB: -1}, end)
+	c.ctl.FromProc(msg, end)
+}
+
+// InterveneFF is the fast-forward counterpart of Intervene: the cache-state
+// transition applies immediately and the response kind returns
+// synchronously, with no bus reservation and no charge. MAGIC's functional
+// handler path calls it mid-handler, so the protocol sees exactly the same
+// state transitions as the detailed path in zero time.
+func (c *CPU) InterveneFF(kind arch.MsgType, addr arch.Addr) arch.MsgType {
+	line := addr.Line()
+	if kind == arch.MsgPIInval {
+		if e := c.findMSHR(line); e >= 0 && c.mshrs[e].kind == arch.MsgGET {
+			c.mshrs[e].invalOnFill = true
+		}
+	}
+	st := c.Cache.Lookup(line)
+	if kind == arch.MsgPIInval || st != Modified {
+		if kind != arch.MsgPIDowngr {
+			c.Cache.SetState(line, Invalid)
+		}
+		return arch.MsgPCClean
+	}
+	if kind == arch.MsgPIFlush {
+		c.Cache.SetState(line, Invalid)
+	} else {
+		c.Cache.SetState(line, Shared)
+	}
+	return arch.MsgPCData
 }
 
 // Intervene performs a controller-initiated cache transaction: an
@@ -625,6 +862,35 @@ func (c *CPU) Intervene(kind arch.MsgType, addr arch.Addr, at sim.Cycle, done fu
 	c.eng.At(first, func() { done(arch.MsgPCData, first) })
 }
 
+// FFLocalRead satisfies a cache-hit read functionally during a fast-forward
+// phase, without a coroutine crossing: the workload calls it from ReadU (the
+// hot blocking-read path) and, on success, keeps running with the value while
+// the read's instruction rides to the processor as deferred busy time on the
+// next reference that does cross. pendingBusy is the caller's accumulated
+// uncharged instruction count including this read, so the phase gate sees
+// the read's effective virtual time, not the stale batch-start time — a read
+// stream that runs into a detailed window falls back to the simulated path
+// exactly at the boundary. Cycle-exact: a detailed read hit costs only its
+// instruction slot (the cache access is absorbed by the 4-per-cycle issue
+// model), and charge()'s instruction-remainder carry makes deferred and
+// per-reference conversion produce identical cycle totals. Requires no
+// outstanding misses so MSHR merge/ordering semantics never apply.
+func (c *CPU) FFLocalRead(a arch.Addr, pendingBusy uint32) (uint64, bool) {
+	if !c.sampling || c.inUse != 0 {
+		return 0, false
+	}
+	if c.phaseDetailed(uint64(c.srcNow) + uint64(pendingBusy/4)) {
+		return 0, false
+	}
+	if c.Cache.Lookup(a.Line()) == Invalid {
+		return 0, false
+	}
+	c.Stats.Refs++
+	c.Stats.Reads++
+	c.Stats.FFWork++
+	return c.mem.Load(uint64(a)/8), true
+}
+
 // --- backing-store access (sim goroutine only) ---
 
 func (c *CPU) load(ref *Ref) {
@@ -654,6 +920,9 @@ func (c *CPU) rmw(ref *Ref) {
 // --- MSHR helpers ---
 
 func (c *CPU) findMSHR(line uint64) int {
+	if c.inUse == 0 {
+		return -1 // the common case: no miss outstanding, skip the scan
+	}
 	for i := range c.mshrs {
 		if c.mshrs[i].valid && c.mshrs[i].line == line {
 			return i
@@ -663,6 +932,9 @@ func (c *CPU) findMSHR(line uint64) int {
 }
 
 func (c *CPU) setConflict(line uint64) bool {
+	if c.inUse == 0 {
+		return false
+	}
 	for i := range c.mshrs {
 		if c.mshrs[i].valid && c.Cache.SameSet(c.mshrs[i].line, line) {
 			return true
@@ -679,4 +951,17 @@ func (c *CPU) allocMSHR() int {
 		}
 	}
 	panic("cpu: allocMSHR with none free")
+}
+
+// DebugState renders the processor's blocking state for hang diagnosis.
+func (c *CPU) DebugState() string {
+	s := fmt.Sprintf("done=%v blocked=%d hasPending=%v pendingAt=%d pending={%v %#x sync=%v} inUse=%d",
+		c.done, c.blocked, c.hasPending, c.pendingAt, c.pending.Kind, c.pending.Addr, c.pending.Sync, c.inUse)
+	for i := range c.mshrs {
+		e := &c.mshrs[i]
+		if e.valid {
+			s += fmt.Sprintf(" mshr%d={line=%#x kind=%v waiting=%v retries=%d ffIssued=%v}", i, e.line, e.kind, e.waiting, e.retries, e.ffIssued)
+		}
+	}
+	return s
 }

@@ -35,6 +35,8 @@ func (c *echoCtl) FromProc(m arch.Msg, at sim.Cycle) {
 	}
 }
 
+func (c *echoCtl) FromProcFF(m arch.Msg, at sim.Cycle) { c.FromProc(m, at) }
+
 type scripted struct {
 	refs []Ref
 	i    int

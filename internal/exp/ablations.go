@@ -16,7 +16,7 @@ func AblateMDC(o Options) (string, error) {
 	var base uint64
 	rows := [][]string{}
 	for _, sz := range sizes {
-		cfg := baseConfig(8)
+		cfg := o.baseConfig(8)
 		cfg.Placement = arch.PlaceRoundRobin
 		cfg.MDCSize = sz
 		r, err := RunApp("os", cfg, o.paramsFor("os", 8), o.Verify)
@@ -42,7 +42,7 @@ func AblateMDC(o Options) (string, error) {
 func AblateNetwork(o Options) (string, error) {
 	rows := [][]string{}
 	for _, transit := range []uint32{11, 22, 44, 88} {
-		cfg := baseConfig(16)
+		cfg := o.baseConfig(16)
 		cfg.Timing.NetTransit = transit
 		p := o.paramsFor("fft", 16)
 		f, err := RunApp("fft", withTransit(cfg, arch.KindFLASH, transit), p, o.Verify)
@@ -92,7 +92,7 @@ func AblateIssueWidth(o Options) (string, error) {
 	var base uint64
 	rows := [][]string{}
 	for _, m := range modes {
-		cfg := baseConfig(16)
+		cfg := o.baseConfig(16)
 		cfg.PPMode = m.mode
 		r, err := RunApp("mp3d", cfg, p, o.Verify)
 		if err != nil {

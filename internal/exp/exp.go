@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"flashsim/internal/apps"
 	"flashsim/internal/arch"
@@ -46,6 +47,21 @@ type Options struct {
 	// EngineWorkers overrides the sharded engine's worker-pool size for the
 	// profile harness (0 = GOMAXPROCS-derived).
 	EngineWorkers int
+	// NetModel selects the network latency model every experiment's machines
+	// use (the zero value is the paper's uniform average; NetMesh switches
+	// to per-pair 2-D mesh transit and changes simulated timing).
+	NetModel arch.NetModel
+	// Sample, when enabled, runs experiments under the sampled fast-forward
+	// schedule (see arch.SampleSpec). Most experiments ignore it; the
+	// sampled experiment and the profile harness honor it.
+	Sample arch.SampleSpec
+	// SampleApps restricts the sampled experiment to these applications
+	// (empty = the full Figure 4.1 suite). Sampling schedules are tuned
+	// per application in practice (SMARTS picks per-benchmark configs), so
+	// scripts pair a spec with the apps it suits.
+	SampleApps []string
+	// CacheBytes overrides the processor cache size (0 = the paper's 1 MB).
+	CacheBytes int
 }
 
 // workers returns the experiment fan-out for simulations of simProcs
@@ -95,6 +111,11 @@ type Run struct {
 	Cfg     arch.Config
 	Report  stats.Report
 	Machine *core.Machine
+	// SimWall is the host time spent inside the event loop proper (the
+	// workload run), excluding machine construction, result verification,
+	// and the post-run coherence audit — the part a sampled schedule can
+	// actually shorten.
+	SimWall time.Duration
 }
 
 // RunApp executes one application on one configuration.
@@ -126,9 +147,11 @@ func RunAppObserved(name string, cfg arch.Config, p apps.Params, verify bool, ob
 	if err != nil {
 		return nil, err
 	}
+	simStart := time.Now()
 	if err := w.Run(app.Run, 0); err != nil {
 		return nil, fmt.Errorf("%s on %v: %w", name, cfg.Kind, err)
 	}
+	simWall := time.Since(simStart)
 	if verify {
 		if err := app.Verify(); err != nil {
 			return nil, fmt.Errorf("%s on %v: %w", name, cfg.Kind, err)
@@ -140,7 +163,7 @@ func RunAppObserved(name string, cfg arch.Config, p apps.Params, verify bool, ob
 	rep := stats.Collect(m)
 	host := metrics.ReadHost().Sub(before)
 	rep.Host = &host
-	return &Run{App: name, Cfg: cfg, Report: rep, Machine: m}, nil
+	return &Run{App: name, Cfg: cfg, Report: rep, Machine: m, SimWall: simWall}, nil
 }
 
 // Pair runs an application on FLASH and on the ideal machine with otherwise
@@ -176,14 +199,18 @@ func Slowdown(flash, ideal *Run) float64 {
 	return 100 * (float64(flash.Report.Elapsed)/float64(ideal.Report.Elapsed) - 1)
 }
 
-// baseConfig is the 16-processor Section 3 machine with a memory size fit
-// for the scaled problems.
-func baseConfig(procs int) arch.Config {
+// baseConfig is the Section 3 machine with a memory size fit for the
+// scaled problems, adjusted by the experiment-wide options (network model).
+func (o Options) baseConfig(procs int) arch.Config {
 	cfg := arch.DefaultConfig()
 	if procs > 0 {
 		cfg.Nodes = procs
 	}
 	cfg.MemBytesPerNode = 8 << 20
+	cfg.NetModel = o.NetModel
+	if o.CacheBytes > 0 {
+		cfg.CacheSize = o.CacheBytes
+	}
 	return cfg
 }
 

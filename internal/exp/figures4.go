@@ -35,7 +35,7 @@ func runSuite(o Options, names []string, cacheBytes, procs int) ([]appRow, error
 		if o.Procs > 0 {
 			np = o.Procs
 		}
-		cfg := baseConfig(np)
+		cfg := o.baseConfig(np)
 		if cacheBytes > 0 {
 			cfg.CacheSize = cacheBytes
 			// The paper uses 16 KB instead of 4 KB for Ocean (cache
@@ -179,7 +179,7 @@ func Sec43(o Options) (string, error) {
 	b.WriteString("Section 4.3: PP occupancy effects (hot-spotting)\n\n")
 
 	// FFT, 4 KB caches, all pages from node 0.
-	cfg := baseConfig(16)
+	cfg := o.baseConfig(16)
 	cfg.CacheSize = 4 << 10
 	cfg.Placement = arch.PlaceNodeZero
 	f, i, err := Pair("fft", cfg, o.paramsFor("fft", 16), o.Verify)
@@ -196,7 +196,7 @@ func Sec43(o Options) (string, error) {
 
 	// OS workload: round-robin (tuned) vs node-zero (original IRIX port).
 	for _, pl := range []arch.Placement{arch.PlaceRoundRobin, arch.PlaceNodeZero} {
-		cfg := baseConfig(8)
+		cfg := o.baseConfig(8)
 		cfg.Placement = pl
 		f, i, err := Pair("os", cfg, o.paramsFor("os", 8), o.Verify)
 		if err != nil {
@@ -229,7 +229,7 @@ func Sec45(o Options) (string, error) {
 	b.WriteString("Section 4.5: 64-processor runs at 16-processor problem sizes\n")
 	rows := [][]string{}
 	res, err := parallelMap(o.workers(64), names, func(name string) (appRow, error) {
-		cfg := baseConfig(64)
+		cfg := o.baseConfig(64)
 		cfg.MemBytesPerNode = 2 << 20 // keep the 64-node footprint sane
 		f, i, err := Pair(name, cfg, o.paramsFor(name, 64), o.Verify)
 		if err != nil {

@@ -28,7 +28,7 @@ func Table51(o Options, cacheBytes int) (string, error) {
 		if name == "os" {
 			np = 8
 		}
-		cfg := baseConfig(np)
+		cfg := o.baseConfig(np)
 		cfg.CacheSize = cacheBytes
 		if name == "ocean" && cacheBytes == 4<<10 {
 			cfg.CacheSize = 16 << 10
@@ -78,7 +78,7 @@ func Sec52(o Options) (string, error) {
 	if scale < 1 {
 		scale = 1
 	}
-	cfg := baseConfig(1)
+	cfg := o.baseConfig(1)
 	cfg.Nodes = 1
 	cfg.MemBytesPerNode = 32 << 20
 	p := apps.Params{Procs: 1, Scale: scale}
@@ -103,7 +103,7 @@ func Sec52(o Options) (string, error) {
 		100*(float64(run.Report.Elapsed)/float64(ideal.Report.Elapsed)-1)))
 
 	// OS workload MDC rates.
-	oc := baseConfig(8)
+	oc := o.baseConfig(8)
 	oc.Placement = arch.PlaceRoundRobin
 	osr, err := RunApp("os", oc, o.paramsFor("os", 8), o.Verify)
 	if err != nil {
@@ -218,7 +218,7 @@ func Sec53(o Options) (string, error) {
 		slowdown float64
 	}
 	rows, err := parallelMap(o.workers(16), names, func(name string) (row, error) {
-		cfg := baseConfig(16)
+		cfg := o.baseConfig(16)
 		p := o.paramsFor(name, 16)
 		opt, err := RunApp(name, cfg, p, o.Verify)
 		if err != nil {
@@ -263,7 +263,7 @@ func ProtoCompare(o Options) (string, error) {
 		dynPairs, bvPairs float64
 	}
 	rows, err := parallelMap(o.workers(16), names, func(name string) (row, error) {
-		cfg := baseConfig(16)
+		cfg := o.baseConfig(16)
 		p := o.paramsFor(name, 16)
 		dyn, err := RunApp(name, cfg, p, o.Verify)
 		if err != nil {

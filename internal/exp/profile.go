@@ -41,13 +41,14 @@ func ProfileApps(o Options, names []string) ([]*AppProfile, error) {
 		if o.Procs > 0 {
 			np = o.Procs
 		}
-		cfg := baseConfig(np)
+		cfg := o.baseConfig(np)
 		cfg.Kind = arch.KindFLASH
 		cfg.Engine = arch.EngineSharded
 		if o.Engine != arch.EngineAuto {
 			cfg.Engine = o.Engine
 		}
 		cfg.EngineSync = o.EngineSync
+		cfg.Sample = o.Sample
 		if name == "os" {
 			cfg.Placement = arch.PlaceRoundRobin
 		}

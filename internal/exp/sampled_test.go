@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/arch"
+)
+
+// sampledDigest fingerprints a sampled run: the raw behavioral digest plus
+// the extrapolation outputs. Two runs with the same SampleSpec must agree on
+// every field.
+type sampledDigest struct {
+	goldenDigest
+	Est uint64
+	CI  uint64
+	FF  uint64
+}
+
+func sampledDigestOf(r *Run) sampledDigest {
+	d := sampledDigest{goldenDigest: goldenDigest{
+		Elapsed:  uint64(r.Report.Elapsed),
+		Executed: r.Machine.Eng.ExecutedEvents(),
+	}}
+	if s := r.Report.Sampled; s != nil {
+		d.Est, d.CI, d.FF = s.ElapsedEst, s.ElapsedCI, s.FFWorkRefs
+	}
+	return d
+}
+
+// TestSampledDetailFraction1 locks the sampling off-switch down: a machine
+// configured with a Stride-0 SampleSpec (detailed fraction 1.0) must be
+// bit-identical to the recorded golden digests on every backend combination
+// — the sampling plumbing may cost nothing and change nothing until a
+// positive Stride turns it on.
+func TestSampledDetailFraction1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	want := readGoldenDigests(t)
+	for _, eng := range []arch.EngineKind{arch.EngineSeq, arch.EngineSharded} {
+		for _, pp := range []arch.PPDispatch{arch.PPDispatchInterp, arch.PPDispatchCompiled} {
+			for _, name := range []string{"fft", "lu", "radix"} {
+				cfg := goldenConfig()
+				cfg.Engine = eng
+				cfg.PPDispatch = pp
+				// Stride 0 with a non-zero field: sampling force-off (also
+				// shields the run from any FLASHSIM_SAMPLE in the test env).
+				cfg.Sample = arch.SampleSpec{Detail: 1}
+				r, err := RunApp(name, cfg, apps.Params{Scale: goldenScales[name]}, true)
+				if err != nil {
+					t.Fatalf("%s (%v/%v): %v", name, eng, pp, err)
+				}
+				got := goldenDigest{
+					Elapsed:  uint64(r.Report.Elapsed),
+					Executed: r.Machine.Eng.ExecutedEvents(),
+				}
+				if got != want[name] {
+					t.Errorf("%s (%v/%v): digest %+v, want golden %+v", name, eng, pp, got, want[name])
+				}
+				if r.Report.Sampled != nil {
+					t.Errorf("%s (%v/%v): detailed-fraction-1.0 run grew a Sampled report section", name, eng, pp)
+				}
+			}
+		}
+	}
+}
+
+// TestSampledRepeatable runs every application twice under the same sampled
+// schedule and requires bit-identical digests and extrapolations: sampling
+// is an intentional timing-model change, but a deterministic one. Verify
+// stays on, so this doubles as the functional-correctness closure for the
+// fast-forward path (architectural state, memory values, coherence).
+func TestSampledRepeatable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := arch.SampleSpec{Detail: 500, Stride: 3500, Warmup: 2000}
+	for _, name := range apps.Names {
+		var d [2]sampledDigest
+		for i := range d {
+			cfg := goldenConfig()
+			if name == "os" {
+				cfg.Placement = arch.PlaceRoundRobin
+			}
+			cfg.Sample = spec
+			r, err := RunApp(name, cfg, apps.Params{Scale: goldenScales[name]}, true)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", name, i, err)
+			}
+			if r.Report.Sampled == nil {
+				t.Fatalf("%s run %d: sampled run has no extrapolation section", name, i)
+			}
+			d[i] = sampledDigestOf(r)
+		}
+		if d[0] != d[1] {
+			t.Errorf("%s: sampled runs differ: %+v vs %+v", name, d[0], d[1])
+		}
+	}
+}
+
+// TestSampledEnvResolution checks the FLASHSIM_SAMPLE process default: a
+// zero-valued Config.Sample picks up the environment schedule, and an
+// explicit force-off spec wins over it.
+func TestSampledEnvResolution(t *testing.T) {
+	t.Setenv("FLASHSIM_SAMPLE", "500/3500/2000")
+	cfg := goldenConfig()
+	r, err := RunApp("fft", cfg, apps.Params{Scale: goldenScales["fft"]}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Report.Sampled == nil {
+		t.Error("FLASHSIM_SAMPLE set but the run has no extrapolation section")
+	}
+
+	cfg = goldenConfig()
+	cfg.Sample = arch.SampleSpec{Detail: 1} // explicit off beats the env
+	r, err = RunApp("fft", cfg, apps.Params{Scale: goldenScales["fft"]}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Report.Sampled != nil {
+		t.Error("explicit Stride-0 spec did not override FLASHSIM_SAMPLE")
+	}
+}
+
+// TestSampledSmoke leaves Config.Sample zero so the FLASHSIM_SAMPLE process
+// default (if any) drives the schedule, and requires the runs to build,
+// finish, verify their results, and pass the coherence audit. `make verify`
+// runs this with FLASHSIM_SAMPLE=default as the sampled-mode smoke pass;
+// without the variable it degenerates to a plain detailed run.
+func TestSampledSmoke(t *testing.T) {
+	for _, name := range []string{"fft", "radix"} {
+		cfg := goldenConfig()
+		r, err := RunApp(name, cfg, apps.Params{Scale: goldenScales[name]}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if os.Getenv("FLASHSIM_SAMPLE") == "default" && r.Report.Sampled == nil {
+			t.Errorf("%s: FLASHSIM_SAMPLE=default but no extrapolation section", name)
+		}
+	}
+}
+
+// readGoldenDigests loads testdata/golden_digest.json (shared with
+// TestGoldenDigest).
+func readGoldenDigests(t *testing.T) map[string]goldenDigest {
+	t.Helper()
+	buf, err := os.ReadFile(filepath.Join("testdata", "golden_digest.json"))
+	if err != nil {
+		t.Fatalf("missing golden digests: %v", err)
+	}
+	want := map[string]goldenDigest{}
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}

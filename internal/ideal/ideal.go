@@ -127,6 +127,12 @@ func (c *Controller) FromProc(m arch.Msg, at sim.Cycle) {
 	c.Eng.At(at+sim.Cycle(c.T.PIInbound), func() { c.handle(m, false) })
 }
 
+// FromProcFF satisfies cpu.Ctl; never reached on ideal machines (core
+// forces sampling off — the ideal protocol already runs in zero time).
+func (c *Controller) FromProcFF(m arch.Msg, at sim.Cycle) {
+	panic("ideal: FromProcFF on a machine with sampling disabled")
+}
+
 // FromNet receives a network message (network.Sink).
 func (c *Controller) FromNet(m arch.Msg) {
 	c.Eng.After(sim.Cycle(c.T.NIInbound), func() { c.handle(m, true) })

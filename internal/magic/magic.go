@@ -23,6 +23,8 @@ import (
 // Stats aggregates MAGIC-level statistics.
 type Stats struct {
 	Dispatches    uint64 // handler invocations (excluding pp_init)
+	FFDispatches  uint64 // of which ran functionally (fast-forward phases)
+	FFNetSends    uint64 // functional node-to-node sends (bypass the modeled network)
 	NetSends      uint64
 	PISends       uint64
 	Interventions uint64
@@ -69,6 +71,7 @@ type handlerCtx struct {
 	pc         int    // interned entry pair index (jump table)
 	agg        *handlerAgg
 	viaNet     bool
+	ff         bool      // functional (fast-forward) invocation: ppEnv skips timing
 	dispatched sim.Cycle // handler start time
 	segStart   sim.Cycle // start of the current PP run segment
 
@@ -135,6 +138,24 @@ type Magic struct {
 	// lastEnd tracks the previous handler's completion for the
 	// non-overlap invariant (occupancies must never double-count).
 	lastEnd sim.Cycle
+
+	// Sampled execution (arch.Config.Sample): in fast-forward phases
+	// messages are processed functionally through runHandlerFF — the same
+	// jump table and the same PP program, with fixed charge latencies and
+	// synchronous node-to-node chains instead of modeled occupancy, queue
+	// contention, and network transit.
+	sampling bool
+	sample   arch.SampleSpec
+
+	// Peers maps node id to controller for the synchronous fast-forward
+	// chains (wired by core on FLASH machines when sampling is enabled).
+	// Safe only because sampling serializes the sharded engine.
+	Peers []*Magic
+
+	// ffCtx is the reusable functional-invocation context: FF handlers
+	// never outlive runHandlerFF, so one scratch struct per controller
+	// avoids an allocation per dispatch.
+	ffCtx handlerCtx
 }
 
 // queue capacities from Table 3.1.
@@ -159,6 +180,8 @@ func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, prog *protocol.Pro
 		Mem:      mem,
 		Net:      net,
 		handlers: make(map[string]*handlerAgg),
+		sampling: cfg.Sample.Enabled(),
+		sample:   cfg.Sample,
 	}
 	mdc := ppsim.NewMDC(cfg.MDCSize, cfg.MDCWays)
 	m.PP = ppsim.NewBackend(prog.Code, int(prog.Layout.MemBytes), mdc, (*ppEnv)(m), ppsim.BackendFor(cfg.PPDispatch))
@@ -265,26 +288,18 @@ func (m *Magic) FromNet(msg arch.Msg) {
 
 // tryDispatch starts the next handler if the PP is idle and a message is
 // waiting. Replies have priority (deadlock avoidance); the PI and NI
-// request queues alternate.
+// request queues alternate. In fast-forward phases the queues drain
+// functionally instead.
 func (m *Magic) tryDispatch() {
 	if m.ctx != nil || m.dispatchScheduled {
 		return
 	}
-	var msg arch.Msg
-	var viaNet bool
-	switch {
-	case len(m.qNetRpl) > 0:
-		msg, viaNet = m.qNetRpl[0].msg, true
-		m.qNetRpl = m.qNetRpl[1:]
-	case len(m.qPI) > 0 && (m.rrPI || len(m.qNetReq) == 0):
-		msg, viaNet = m.qPI[0].msg, false
-		m.qPI = m.qPI[1:]
-		m.rrPI = false
-	case len(m.qNetReq) > 0:
-		msg, viaNet = m.qNetReq[0].msg, true
-		m.qNetReq = m.qNetReq[1:]
-		m.rrPI = true
-	default:
+	if m.sampling && !m.sample.Detailed(uint64(m.Eng.Now())) {
+		m.drainFF()
+		return
+	}
+	msg, viaNet, _, ok := m.popQueue()
+	if !ok {
 		return
 	}
 
@@ -317,6 +332,128 @@ func (m *Magic) tryDispatch() {
 		m.dispatchScheduled = false
 		m.startHandler()
 	})
+}
+
+// popQueue removes the next message under the inbox arbitration rules:
+// replies first, then PI/NI request round-robin. ready is the message's
+// arrival time (used by the functional drain; detailed dispatch runs off
+// the engine clock).
+func (m *Magic) popQueue() (msg arch.Msg, viaNet bool, ready sim.Cycle, ok bool) {
+	switch {
+	case len(m.qNetRpl) > 0:
+		msg, viaNet, ready = m.qNetRpl[0].msg, true, m.qNetRpl[0].ready
+		m.qNetRpl = m.qNetRpl[1:]
+	case len(m.qPI) > 0 && (m.rrPI || len(m.qNetReq) == 0):
+		msg, viaNet, ready = m.qPI[0].msg, false, m.qPI[0].ready
+		m.qPI = m.qPI[1:]
+		m.rrPI = false
+	case len(m.qNetReq) > 0:
+		msg, viaNet, ready = m.qNetReq[0].msg, true, m.qNetReq[0].ready
+		m.qNetReq = m.qNetReq[1:]
+		m.rrPI = true
+	default:
+		return arch.Msg{}, false, 0, false
+	}
+	return msg, viaNet, ready, true
+}
+
+// injectFF hands a message to this controller functionally, with at as its
+// nominal arrival time. If the PP is busy — a detailed handler is still in
+// flight across the phase boundary, or an outer functional handler on this
+// node's chain is mid-run — the message queues and drains when the PP
+// frees. Otherwise the handler (and everything it causes, recursively
+// across nodes) runs to completion right now. Safe only single-threaded:
+// the sequential engine always is, and core serializes the sharded engine
+// whenever sampling is enabled.
+func (m *Magic) injectFF(msg arch.Msg, viaNet bool, at sim.Cycle) {
+	if m.ctx != nil || !m.queuesEmpty() {
+		q := &m.qPI
+		if viaNet {
+			q = &m.qNetReq
+			if msg.Type.IsReply() {
+				q = &m.qNetRpl
+			}
+		}
+		*q = append(*q, queued{msg, at})
+		if m.ctx == nil {
+			m.drainFF()
+		}
+		return
+	}
+	m.runHandlerFF(msg, viaNet, at)
+	m.drainFF()
+}
+
+// FromProcFF is the functional counterpart of FromProc: the miss request
+// enters the controller synchronously (cpu.Ctl).
+func (m *Magic) FromProcFF(msg arch.Msg, at sim.Cycle) {
+	m.injectFF(msg, false, at+sim.Cycle(m.T.PIInbound))
+}
+
+func (m *Magic) queuesEmpty() bool {
+	return len(m.qPI) == 0 && len(m.qNetReq) == 0 && len(m.qNetRpl) == 0
+}
+
+// drainFF empties the inbox queues functionally: each handler runs to
+// completion through the regular jump table and PP program, so directory
+// state, the MDC, processor caches, and memory values evolve exactly as the
+// protocol dictates — only the timing (PP occupancy, queue contention,
+// memory/bus reservations, network transit) is replaced by fixed charges.
+func (m *Magic) drainFF() {
+	for m.ctx == nil {
+		msg, viaNet, ready, ok := m.popQueue()
+		if !ok {
+			return
+		}
+		m.runHandlerFF(msg, viaNet, ready)
+	}
+}
+
+// runHandlerFF executes one handler invocation functionally. Sends always
+// succeed (functional queues are unbounded), processor-cache interventions
+// resolve synchronously, so the PP can only return WaitPC transiently —
+// never BlockedSend — and the resume loop below is bounded.
+func (m *Magic) runHandlerFF(msg arch.Msg, viaNet bool, at sim.Cycle) {
+	isHome := m.Cfg.HomeOf(msg.Addr) == m.ID
+	slot := &m.jt[b2i(viaNet)][b2i(isHome)][msg.Type]
+	if !slot.ok {
+		panic(fmt.Sprintf("magic%d: no handler for %s (viaNet=%v isHome=%v)", m.ID, msg.Type, viaNet, isHome))
+	}
+	dispatch := at + sim.Cycle(m.T.InboxSelect) + sim.Cycle(m.T.JumpTable)
+	ctx := &m.ffCtx
+	*ctx = handlerCtx{msg: msg, entry: slot.entry, pc: slot.pc, agg: slot.agg, viaNet: viaNet, ff: true, dispatched: dispatch, segStart: dispatch}
+	if msg.Type.CarriesData() {
+		ctx.hasData = true
+		ctx.dataReady = dispatch
+	}
+	m.ctx = ctx
+	m.Stats.Dispatches++
+	m.Stats.FFDispatches++
+
+	pp := m.PP
+	pp.InHeader(ppisa.HdrType, uint64(msg.Type))
+	pp.InHeader(ppisa.HdrAddr, uint64(msg.Addr))
+	pp.InHeader(ppisa.HdrSrc, uint64(msg.Src))
+	pp.InHeader(ppisa.HdrReq, uint64(msg.Req))
+	pp.InHeader(ppisa.HdrAux, uint64(msg.Aux))
+	pp.InHeader(ppisa.HdrSelf, uint64(m.ID))
+	if isHome {
+		pp.InHeader(ppisa.HdrDirOff, m.Prog.Layout.DirOffset(m.Cfg.LocalLine(msg.Addr)))
+	} else {
+		pp.InHeader(ppisa.HdrDirOff, uint64(m.Cfg.HomeOf(msg.Addr)))
+	}
+
+	st, _ := pp.StartAt(ctx.pc)
+	for i := 0; st != ppsim.StatusDone; i++ {
+		if i > 1<<16 {
+			panic(fmt.Sprintf("magic%d: functional handler %s did not converge (status %v)", m.ID, ctx.entry, st))
+		}
+		st, _ = pp.Resume()
+	}
+	// Census only: invocation counts stay exact, timing aggregates
+	// (occupancy, service-time histograms) see no functional handlers.
+	ctx.agg.count++
+	m.ctx = nil
 }
 
 func (m *Magic) startHandler() {
@@ -458,6 +595,9 @@ func (e *ppEnv) magic() *Magic { return (*Magic)(e) }
 func (e *ppEnv) TrySend(h ppsim.OutHeader, dt uint64) bool {
 	m := e.magic()
 	ctx := m.ctx
+	if ctx.ff {
+		return m.sendFF(h)
+	}
 	tSend := ctx.segStart + sim.Cycle(dt)
 	mt := arch.MsgType(h.Type)
 
@@ -469,6 +609,50 @@ func (e *ppEnv) TrySend(h ppsim.OutHeader, dt uint64) bool {
 		return m.sendToPI(h, tSend)
 	}
 	return m.sendToNet(h, tSend)
+}
+
+// sendFF is the functional outbox: sends never block (queues are unbounded
+// functionally), interventions resolve synchronously, local replies deliver
+// synchronously to the processor, and node-to-node messages hop straight
+// into the destination controller with a fixed transit charge — no engine
+// events, no modeled network. Anything a synchronous hop cannot run
+// immediately (the destination PP is busy) queues there and drains when it
+// frees, so chains always terminate.
+func (m *Magic) sendFF(h ppsim.OutHeader) bool {
+	ctx := m.ctx
+	mt := arch.MsgType(h.Type)
+	if h.Iface == ppisa.SendPI {
+		switch mt {
+		case arch.MsgPIInval, arch.MsgPIDowngr, arch.MsgPIFlush:
+			m.Stats.Interventions++
+			resp := m.CPU.InterveneFF(mt, arch.Addr(h.Addr))
+			if mt != arch.MsgPIInval {
+				// The handler's upcoming WAITPC finds the response already
+				// recorded; runHandlerFF's resume loop carries it through.
+				if resp == arch.MsgPCData {
+					m.PP.SetPCResponse(1)
+					ctx.hasData = true
+					ctx.dataReady = ctx.dispatched
+				} else {
+					m.PP.SetPCResponse(0)
+				}
+			}
+			return true
+		}
+		m.Stats.PISends++
+		at := ctx.dispatched + sim.Cycle(m.T.OutboxOut) + sim.Cycle(m.T.PIOutbound) + sim.Cycle(m.T.PIBusWord)
+		// Synchronous delivery: if this resumes the processor and it issues
+		// a new miss, the re-entrant request queues (the PP is busy with
+		// this handler) and drains when we finish.
+		m.CPU.DeliverFF(m.msgFrom(h), at)
+		return true
+	}
+	m.Stats.NetSends++
+	m.Stats.FFNetSends++
+	at := ctx.dispatched + sim.Cycle(m.T.OutboxOut) + sim.Cycle(m.T.NIOutbound) +
+		sim.Cycle(m.T.NetTransit) + sim.Cycle(m.T.NIInbound)
+	m.Peers[h.Dst].injectFF(m.msgFrom(h), true, at)
+	return true
 }
 
 // sendIntervention issues a processor-cache transaction. For
@@ -599,6 +783,14 @@ func (m *Magic) msgFrom(h ppsim.OutHeader) arch.Msg {
 func (e *ppEnv) MemRead(addr uint64, dt uint64) {
 	m := e.magic()
 	ctx := m.ctx
+	if ctx.ff {
+		// Functional: data values live in the backing store, so there is
+		// nothing to move — just mark the buffer present, with no memory
+		// controller reservation or occupancy.
+		ctx.hasData = true
+		ctx.dataReady = m.Eng.Now()
+		return
+	}
 	if ctx.specIssued {
 		return // data already on the way
 	}
@@ -613,6 +805,9 @@ func (e *ppEnv) MemRead(addr uint64, dt uint64) {
 // MemWrite writes the handler's data buffer back to memory (posted).
 func (e *ppEnv) MemWrite(addr uint64, dt uint64) {
 	m := e.magic()
+	if m.ctx.ff {
+		return
+	}
 	m.Mem.Write(m.ctx.segStart + sim.Cycle(dt))
 }
 
@@ -621,8 +816,10 @@ func (e *ppEnv) MemWrite(addr uint64, dt uint64) {
 // stall covers queueing plus the 29-cycle line access.
 func (e *ppEnv) MDCFill(addr uint64, writeback bool, dt uint64) uint64 {
 	m := e.magic()
-	if m.ctx == nil {
-		// Boot-time fill (pp_init), before the clock starts.
+	if m.ctx == nil || m.ctx.ff {
+		// Boot-time fill (pp_init) or a functional handler: the MDC tag
+		// state already updated inside ppsim; charge the flat miss penalty
+		// with no memory reservation.
 		return uint64(m.T.MDCMiss)
 	}
 	t := m.ctx.segStart + sim.Cycle(dt)
@@ -631,4 +828,19 @@ func (e *ppEnv) MDCFill(addr uint64, writeback bool, dt uint64) uint64 {
 		m.Mem.Write(done)
 	}
 	return uint64(done - t)
+}
+
+// DebugState renders the controller's queue/handler state for hang diagnosis.
+func (m *Magic) DebugState() string {
+	s := fmt.Sprintf("ctx=%v qPI=%d qNetReq=%d qNetRpl=%d outPI=%d outNet=%d", m.ctx != nil, len(m.qPI), len(m.qNetReq), len(m.qNetRpl), m.outPI, m.outNet)
+	for _, q := range m.qPI {
+		s += fmt.Sprintf(" PI{%v %#x src=%d}", q.msg.Type, q.msg.Addr, q.msg.Src)
+	}
+	for _, q := range m.qNetReq {
+		s += fmt.Sprintf(" NReq{%v %#x src=%d}", q.msg.Type, q.msg.Addr, q.msg.Src)
+	}
+	for _, q := range m.qNetRpl {
+		s += fmt.Sprintf(" NRpl{%v %#x src=%d}", q.msg.Type, q.msg.Addr, q.msg.Src)
+	}
+	return s
 }

@@ -62,8 +62,9 @@ func (s *Store) Word(i uint64) *uint64 {
 // windows) apart, and synchronization spin loops tolerate a bounded,
 // deterministic staleness of at most one window.
 type View struct {
-	s   *Store
-	log []writeRec
+	s            *Store
+	log          []writeRec
+	writeThrough bool
 }
 
 type writeRec struct {
@@ -86,8 +87,24 @@ func (v *View) Load(i uint64) uint64 {
 	return v.s.Load(i)
 }
 
-// Store buffers a write of word i.
-func (v *View) Store(i, x uint64) { v.log = append(v.log, writeRec{idx: i, val: x}) }
+// Store buffers a write of word i (publishes it immediately in
+// write-through mode).
+func (v *View) Store(i, x uint64) {
+	if v.writeThrough {
+		*v.s.Word(i) = x
+		return
+	}
+	v.log = append(v.log, writeRec{idx: i, val: x})
+}
+
+// SetWriteThrough makes every Store publish to the shared backing
+// immediately, bypassing the window log. Sampled runs use it: synchronous
+// fast-forward chains complete cross-node transfers in zero engine time,
+// so window-quantized visibility would expose stale data mid-chain, and
+// sampled execution is serialized (single engine worker) so the eager
+// publish is race-free. Equivalent to flushing after every store, minus
+// the log traffic.
+func (v *View) SetWriteThrough(wt bool) { v.writeThrough = wt }
 
 // Flush publishes buffered writes to the shared store in program order and
 // empties the log.

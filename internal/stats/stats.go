@@ -9,6 +9,7 @@ package stats
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -77,11 +78,61 @@ type Report struct {
 	MemOccSeries []float64 `json:",omitempty"`
 	PPOccSeries  []float64 `json:",omitempty"`
 
+	// Sampled, when the run used SMARTS-style sampled execution, carries the
+	// extrapolated execution-time estimate with its confidence interval. The
+	// raw Elapsed above counts fast-forward cycles at their fixed charge
+	// latencies and must not be compared against full-simulation numbers;
+	// ElapsedEst is the comparable figure.
+	Sampled *Sampled `json:",omitempty"`
+
 	// Host, when metrics collection is on, carries the Go-runtime cost of
 	// producing this report: wall clock, allocation, and GC totals for the
 	// run. Host-side only — it never appears in the paper-facing text
 	// rendering.
 	Host *metrics.HostDelta `json:",omitempty"`
+}
+
+// Sampled is the extrapolation section of a sampled run's report. The
+// estimator follows the SMARTS recipe: each complete measurement window w
+// retires R_w work references (non-synchronization references machine-wide;
+// spin-loop references are excluded because their count is itself a timing
+// artifact) in Detail cycles. The fast-forwarded work is priced at the
+// work-weighted cost rate — the ratio estimator
+//
+//	c̄ = (windows * Detail) / ΣR_w        cycles per work reference
+//	ElapsedEst = detailed cycles + FFWorkRefs * c̄
+//
+// rather than the unweighted mean of the per-window rates Detail/R_w, which
+// over-weights slow windows (Jensen's inequality) and biases the estimate
+// high. The confidence interval comes from the ratio estimator's Taylor
+// linearization: the residual of window w is Detail - c̄*R_w, and the 95%
+// half-width on c̄ is 1.96 * sqrt(Σresid² * n/(n-1)) / ΣR_w.
+type Sampled struct {
+	Spec arch.SampleSpec
+
+	// DetailedCycles and FFCycles partition the raw elapsed time.
+	DetailedCycles uint64
+	FFCycles       uint64
+
+	// FFWorkRefs counts non-synchronization references retired during
+	// fast-forward phases, machine-wide; FFDispatches counts MAGIC handlers
+	// run functionally.
+	FFWorkRefs   uint64
+	FFDispatches uint64
+
+	// Windows is the number of complete measurement windows with nonzero
+	// work, i.e. the sample size behind the confidence interval.
+	Windows int
+
+	// CyclesPerRef is the mean detailed cost rate mean(c_w);
+	// CyclesPerRefCI is its 95% confidence half-width.
+	CyclesPerRef   float64
+	CyclesPerRefCI float64
+
+	// ElapsedEst estimates what a full detailed simulation would have
+	// reported as Elapsed; ElapsedCI is the 95% confidence half-width.
+	ElapsedEst uint64
+	ElapsedCI  uint64
 }
 
 // Collect gathers a Report from a finished machine.
@@ -92,10 +143,19 @@ func Collect(m *core.Machine) Report {
 		el = 1
 	}
 	// Occupancy denominators use the quiesce time: controllers keep
-	// draining writebacks briefly after the last processor retires.
+	// draining writebacks briefly after the last processor retires. Under
+	// sampling, occupancy only accumulates in detailed phases, so the
+	// denominator shrinks to the detailed share of that span.
 	total := m.Eng.Now()
 	if total < m.Elapsed {
 		total = m.Elapsed
+	}
+	occTotal := total
+	if m.Cfg.Sample.Enabled() {
+		occTotal = sim.Cycle(m.Cfg.Sample.DetailedCyclesThrough(uint64(total)))
+		if occTotal == 0 {
+			occTotal = 1
+		}
 	}
 	var classTot [arch.NumMissClasses]uint64
 	var memBusy, memMax float64
@@ -118,7 +178,7 @@ func Collect(m *core.Machine) Report {
 		r.Breakdown.Sync += float64(s.SyncStall) / el
 		r.Breakdown.Cont += float64(s.ContStall) / el
 
-		occ := n.Mem.Occupancy(total)
+		occ := n.Mem.Occupancy(occTotal)
 		memBusy += occ
 		if occ > memMax {
 			memMax = occ
@@ -170,7 +230,7 @@ func Collect(m *core.Machine) Report {
 		}
 		for _, n := range m.Nodes {
 			mg := n.Magic
-			occ := mg.PPOcc.Fraction(total)
+			occ := mg.PPOcc.Fraction(occTotal)
 			ppBusy += occ
 			if occ > ppMax {
 				ppMax = occ
@@ -225,8 +285,79 @@ func Collect(m *core.Machine) Report {
 			r.MDCFillsOfMemOps = float64(mdcM) / float64(r.MemAccesses)
 		}
 	}
+	if m.Cfg.Sample.Enabled() {
+		r.Sampled = collectSampled(m)
+	}
 	r.NetMsgs = m.Net.TotalMsgs()
+	if m.Cfg.Sample.Enabled() {
+		// Fast-forward chains hand messages node-to-node directly, bypassing
+		// the modeled network; fold them in so the census stays exact.
+		for _, n := range m.Nodes {
+			if n.Magic != nil {
+				r.NetMsgs += n.Magic.Stats.FFNetSends
+			}
+		}
+	}
 	return r
+}
+
+// collectSampled builds the extrapolation section from the per-CPU window
+// work counters (see the Sampled doc comment for the estimator).
+func collectSampled(m *core.Machine) *Sampled {
+	spec := m.Cfg.Sample
+	s := &Sampled{Spec: spec}
+	s.DetailedCycles = spec.DetailedCyclesThrough(uint64(m.Elapsed))
+	s.FFCycles = uint64(m.Elapsed) - s.DetailedCycles
+	var win []uint64
+	for _, n := range m.Nodes {
+		cs := &n.CPU.Stats
+		s.FFWorkRefs += cs.FFWork
+		for w, refs := range cs.WinWork {
+			for len(win) <= w {
+				win = append(win, 0)
+			}
+			win[w] += refs
+		}
+		if n.Magic != nil {
+			s.FFDispatches += n.Magic.Stats.FFDispatches
+		}
+	}
+	// Only complete windows enter the estimator: a window cut short by the
+	// end of the run would overstate the cost rate, and a zero-work window
+	// has no rate at all.
+	var work []uint64
+	for w, refs := range win {
+		if refs == 0 || spec.WindowEnd(w) > uint64(m.Elapsed) {
+			continue
+		}
+		work = append(work, refs)
+	}
+	s.Windows = len(work)
+	if len(work) == 0 {
+		// No usable windows (the run ended inside warm-up or the first
+		// window): report the raw elapsed time with no extrapolation.
+		s.ElapsedEst = uint64(m.Elapsed)
+		return s
+	}
+	// Work-weighted ratio estimator (see the Sampled doc comment).
+	var totalRefs uint64
+	for _, refs := range work {
+		totalRefs += refs
+	}
+	mean := float64(len(work)) * float64(spec.Detail) / float64(totalRefs)
+	s.CyclesPerRef = mean
+	if n := len(work); n > 1 {
+		residsum := 0.0
+		for _, refs := range work {
+			d := float64(spec.Detail) - mean*float64(refs)
+			residsum += d * d
+		}
+		se := math.Sqrt(residsum*float64(n)/float64(n-1)) / float64(totalRefs)
+		s.CyclesPerRefCI = 1.96 * se
+	}
+	s.ElapsedEst = s.DetailedCycles + uint64(mean*float64(s.FFWorkRefs)+0.5)
+	s.ElapsedCI = uint64(s.CyclesPerRefCI*float64(s.FFWorkRefs) + 0.5)
+	return s
 }
 
 // CRMT computes the contentionless read miss time: the read-miss class
@@ -248,6 +379,10 @@ func (r Report) JSON() ([]byte, error) {
 func (r Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%v machine, %d nodes, %d cycles\n", r.Machine, r.Nodes, r.Elapsed)
+	if s := r.Sampled; s != nil {
+		fmt.Fprintf(&b, "  sampled (%v): est %d cycles ±%d (95%% CI), %d windows, %.2f±%.2f cyc/ref, ff refs %d\n",
+			s.Spec, s.ElapsedEst, s.ElapsedCI, s.Windows, s.CyclesPerRef, s.CyclesPerRefCI, s.FFWorkRefs)
+	}
 	fmt.Fprintf(&b, "  breakdown: busy %.1f%%  read %.1f%%  write %.1f%%  sync %.1f%%  cont %.1f%%\n",
 		100*r.Breakdown.Busy, 100*r.Breakdown.Read, 100*r.Breakdown.Write, 100*r.Breakdown.Sync, 100*r.Breakdown.Cont)
 	fmt.Fprintf(&b, "  refs %d  miss rate %.3f%%  read misses %d  naks %d\n", r.Refs, 100*r.MissRate, r.ReadMisses, r.Naks)

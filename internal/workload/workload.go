@@ -198,7 +198,19 @@ type Ctx struct {
 	busy   uint32
 	senses map[*Barrier]uint64
 	prng   uint64
+
+	// proc, set only on sampled machines, lets ReadU try the processor's
+	// functional fast path (cpu.FFLocalRead) before paying a coroutine
+	// crossing; ffStreak bounds how many reads in a row it may satisfy so
+	// the machine keeps advancing underneath a long hit-read run.
+	proc     *cpu.CPU
+	ffStreak int
 }
+
+// ffLocalMax caps consecutive FFLocalRead hits between coroutine crossings:
+// a crossing lets the rest of the machine run, which is what ultimately
+// changes the values a data-dependent read loop is watching.
+const ffLocalMax = 4096
 
 // maxBatch bounds how many non-blocking references a thread buffers before
 // flushing to its processor, so a long write-only loop neither grows memory
@@ -227,6 +239,7 @@ func (c *Ctx) issue(r cpu.Ref) {
 // blocking reference is always batch-final), so the slice is reused in
 // place.
 func (c *Ctx) flush() {
+	c.ffStreak = 0
 	c.yield(c.batch)
 	c.batch = c.batch[:0]
 }
@@ -241,8 +254,27 @@ func (c *Ctx) issueWait(r cpu.Ref) {
 	}
 }
 
-// ReadU loads the 8-byte word at a.
+// ReadU loads the 8-byte word at a. On sampled machines a fast-forward
+// cache-hit read completes functionally without waking the processor; the
+// read's instruction is deferred into the busy count the next crossing
+// reference carries, which charge() converts to the same cycle total.
 func (c *Ctx) ReadU(a arch.Addr) uint64 {
+	if c.proc != nil && c.ffStreak < ffLocalMax {
+		if v, ok := c.proc.FFLocalRead(a, c.busy+1); ok {
+			// Read-own-writes: stores buffered in the unflushed batch precede
+			// this read in program order but haven't reached the processor
+			// yet; the latest one to this word wins over the backing store.
+			for j := len(c.batch) - 1; j >= 0; j-- {
+				if c.batch[j].Addr == a && c.batch[j].Kind == arch.RefWrite {
+					v = c.batch[j].WVal
+					break
+				}
+			}
+			c.busy++
+			c.ffStreak++
+			return v
+		}
+	}
 	c.issueWait(cpu.Ref{Kind: arch.RefRead, Addr: a, Out: &c.out})
 	return c.out
 }
@@ -337,6 +369,9 @@ func (w *World) Run(fn func(*Ctx), limit uint64) error {
 			W: w, ID: i,
 			senses: make(map[*Barrier]uint64),
 			prng:   uint64(i)*0x9E3779B97F4A7C15 + 0x1234567,
+		}
+		if w.Cfg.Sample.Enabled() {
+			c.proc = w.M.Nodes[i].CPU
 		}
 		next, _ := iter.Pull(func(yield func([]cpu.Ref) bool) {
 			c.yield = yield

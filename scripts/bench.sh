@@ -5,7 +5,11 @@
 # BENCH_sim.json with per-run ns/op, B/op, and allocs/op for each benchmark,
 # alongside the recorded seed-tree baseline so before/after is visible in
 # one file. flash_cycles are asserted bit-identical across backends and
-# across engines.
+# across engines. A sampled section compares fast-forward execution against
+# full simulation (error + confidence intervals + speedup; gate: >= 3x at
+# <= 5% error on >= 2 apps, carried by per-app tuned schedules), and a
+# multicore section records barrier-vs-
+# watermark walls and a timed paper-size run (skipped, loudly, on 1 core).
 #
 # Usage:  scripts/bench.sh            # -> BENCH_sim.json
 #         COUNT=3 MACRO_COUNT=1 OUT=/tmp/b.json scripts/bench.sh
@@ -255,6 +259,118 @@ PROFILE_JSON="${PROFILE_JSON%,
 	printf '    }\n'
 	printf '  },\n'
 } >>"$OUT"
+
+# Sampled fast-forward vs full simulation: the sampled experiment runs apps
+# fully detailed and under a SMARTS-style schedule (each leg three times,
+# minimum event-loop wall, simulated outputs asserted bit-identical across
+# repeats) and reports extrapolated Elapsed with 95% confidence intervals
+# alongside the wall-clock speedup. The default schedule covers the whole
+# Fig 4.1 suite for context; the gate rides on per-application tuned
+# schedules (SMARTS practice — the sampling regimen is picked per benchmark):
+# at least two distinct apps must deliver >= 3x wall-clock speedup at <= 5%
+# Elapsed error across the default and tuned tables. Barrier-heavy codes
+# trade larger error for the same speedup at any schedule (DESIGN.md §14).
+T_SAMPLED="$(now_s)"
+SAMPLED_TXT="$(mktemp)"
+GATE_TXT="$(mktemp)"
+trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS" "$RAWW" "$MJSON" "$SJSON" "$SAMPLED_TXT" "$GATE_TXT"' EXIT
+go run ./cmd/flashexp sampled | tee "$SAMPLED_TXT"
+SAMPLED_SPEC="$(sed -n 's/.*full simulation (\([0-9/]*\),.*/\1/p' "$SAMPLED_TXT")"
+
+RADIX_SPEC="2000/24000/8000"
+MP3D_SPEC="2000/100000/8000"
+go run ./cmd/flashexp -sample-apps radix -sample "$RADIX_SPEC" sampled | tee -a "$GATE_TXT"
+go run ./cmd/flashexp -sample-apps mp3d -sample "$MP3D_SPEC" sampled | tee -a "$GATE_TXT"
+SAMPLED_WALL="$(since "$T_SAMPLED")"
+
+# sampled_rows: comparison-table rows -> JSON object members (comma-joined).
+sampled_rows() {
+	awk '
+	$2 ~ /^[0-9]+$/ && NF == 9 {
+		err = $5; sub(/%$/, "", err); sub(/^\+/, "", err)
+		sp = $9; sub(/x$/, "", sp)
+		rows[++n] = sprintf("      \"%s\": {\"full_cycles\": %s, \"est_cycles\": %s, \"ci95_cycles\": %s, \"err_pct\": %s, \"covered\": %s, \"full_seconds\": %s, \"sampled_seconds\": %s, \"speedup\": %s}", \
+			$1, $2, $3, $4, err, $6, $7, $8, sp)
+	}
+	END { for (i = 1; i <= n; i++) printf "%s%s\n", rows[i], (i < n ? "," : "") }' "$1"
+}
+# sampled_pass: names of apps meeting the gate (speedup >= 3x, |err| <= 5%).
+sampled_pass() {
+	awk '
+	$2 ~ /^[0-9]+$/ && NF == 9 {
+		err = $5; sub(/%$/, "", err)
+		sp = $9; sub(/x$/, "", sp)
+		if (sp + 0 >= 3 && (err + 0 <= 5 && -(err + 0) <= 5)) print $1
+	}' "$1"
+}
+
+GATE_PASSING="$( { sampled_pass "$SAMPLED_TXT"; sampled_pass "$GATE_TXT"; } | sort -u)"
+GATE_COUNT="$(printf '%s\n' "$GATE_PASSING" | awk 'NF' | wc -l)"
+if [ "$GATE_COUNT" -lt 2 ]; then
+	echo "bench.sh: sampled mode meets >=3x at <=5% error on only $GATE_COUNT app(s), need >= 2" >&2
+	exit 1
+fi
+echo "bench.sh: sampled gate met on $GATE_COUNT apps (>=3x speedup at <=5% error):" $GATE_PASSING
+GATE_PASSING_JSON="$(printf '%s\n' "$GATE_PASSING" | awk 'NF { s = s (s ? ", " : "") "\"" $1 "\"" } END { print s }')"
+
+{
+	printf '  "sampled": {\n'
+	printf '    "note": "full vs sampled fast-forward execution (flashexp sampled, legs 3x min-wall); est_cycles extrapolates Elapsed from detailed windows, ci95_cycles is the 95%% confidence half-width, wall seconds cover the event loop only",\n'
+	printf '    "gomaxprocs": %s,\n' "$GOMAXPROCS_VAL"
+	printf '    "host_cpus": %s,\n' "$HOST_CPUS"
+	printf '    "wall_seconds": %s,\n' "$SAMPLED_WALL"
+	printf '    "default": {\n'
+	printf '      "spec": "%s",\n' "$SAMPLED_SPEC"
+	printf '      "apps": {\n'
+	sampled_rows "$SAMPLED_TXT" | sed 's/^      /        /'
+	printf '      }\n'
+	printf '    },\n'
+	printf '    "tuned": {\n'
+	printf '      "note": "per-app schedules carry the gate (SMARTS-style per-benchmark tuning)",\n'
+	printf '      "specs": {"radix": "%s", "mp3d": "%s"},\n' "$RADIX_SPEC" "$MP3D_SPEC"
+	printf '      "apps": {\n'
+	sampled_rows "$GATE_TXT" | sed 's/^      /        /'
+	printf '      }\n'
+	printf '    },\n'
+	printf '    "gate": {"require": "speedup >= 3x and |err| <= 5%% on >= 2 distinct apps across the default and tuned tables", "passing": [%s]}\n' "$GATE_PASSING_JSON"
+	printf '  },\n'
+} >>"$OUT"
+
+# Multicore measurement debt (ROADMAP): a wall-clock barrier-vs-watermark
+# comparison and a timed paper-size `flashexp all -scale 1` only mean
+# something when the sharded engine has real cores to spread over. On a
+# 1-core host both are recorded as explicitly skipped, not silently dropped.
+if [ "$HOST_CPUS" -gt 1 ]; then
+	T_PB="$(now_s)"
+	go run ./cmd/flashexp profile -engine-sync=barrier >/dev/null
+	PROFILE_BARRIER_WALL="$(since "$T_PB")"
+	T_PW="$(now_s)"
+	go run ./cmd/flashexp profile -engine-sync=watermark >/dev/null
+	PROFILE_WATERMARK_WALL="$(since "$T_PW")"
+	T_ALL1="$(now_s)"
+	go run ./cmd/flashexp all -scale 1 >/dev/null
+	ALL_SCALE1_WALL="$(since "$T_ALL1")"
+	{
+		printf '  "multicore": {\n'
+		printf '    "note": "wall-clock barrier-vs-watermark (flashexp profile, Fig 4.1 suite) and end-to-end paper-size run (flashexp all -scale 1)",\n'
+		printf '    "gomaxprocs": %s,\n' "$GOMAXPROCS_VAL"
+		printf '    "host_cpus": %s,\n' "$HOST_CPUS"
+		printf '    "profile_barrier_wall_seconds": %s,\n' "$PROFILE_BARRIER_WALL"
+		printf '    "profile_watermark_wall_seconds": %s,\n' "$PROFILE_WATERMARK_WALL"
+		printf '    "all_scale1_wall_seconds": %s\n' "$ALL_SCALE1_WALL"
+		printf '  },\n'
+	} >>"$OUT"
+	echo "bench.sh: multicore walls: profile barrier=${PROFILE_BARRIER_WALL}s watermark=${PROFILE_WATERMARK_WALL}s, all -scale 1=${ALL_SCALE1_WALL}s"
+else
+	{
+		printf '  "multicore": {\n'
+		printf '    "skipped": true,\n'
+		printf '    "host_cpus": %s,\n' "$HOST_CPUS"
+		printf '    "note": "barrier-vs-watermark wall comparison and timed flashexp all -scale 1 need host_cpus > 1 (the sharded engine degenerates to an in-order window loop on one core); rerun scripts/bench.sh on a multicore host to fill this section"\n'
+		printf '  },\n'
+	} >>"$OUT"
+	echo "bench.sh: multicore wall comparison SKIPPED (host_cpus=$HOST_CPUS; needs > 1)"
+fi
 
 # Seed-tree baseline (commit 1dc46be, before the event-queue rewrite and
 # handshake batching) and the PR 1 optimized tree, both recorded once from
