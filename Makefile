@@ -18,6 +18,10 @@ build:
 # golden digests. The sampled passes smoke-test the FLASHSIM_SAMPLE process
 # default end-to-end and run the sampling determinism suite (off-switch
 # bit-identity, repeatability, env resolution) under the race detector.
+# The fork-determinism passes pin snapshot/restore round trips: warm-started
+# (checkpoint + copy-on-write fork) runs must match cold runs bit-for-bit on
+# every Fig 4.1 app across {seq,sharded} x {interp,compiled}, and the machine
+# pool and fork suite run once more under the race detector.
 verify:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./... && $(GO) test -race ./internal/exp -run Parallel
 	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestGolden
@@ -29,6 +33,11 @@ verify:
 	$(GO) test -count=1 ./internal/exp -run TestMetrics
 	FLASHSIM_SAMPLE=default $(GO) test -count=1 ./internal/exp -run TestSampledSmoke
 	$(GO) test -race -count=1 ./internal/exp -run TestSampled
+	FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestForkDeterminism
+	FLASHSIM_PP_DISPATCH=compiled $(GO) test -count=1 ./internal/exp -run TestForkDeterminism
+	FLASHSIM_ENGINE=sharded FLASHSIM_PP_DISPATCH=interp $(GO) test -count=1 ./internal/exp -run TestForkDeterminism
+	FLASHSIM_ENGINE=sharded FLASHSIM_PP_DISPATCH=compiled $(GO) test -count=1 ./internal/exp -run TestForkDeterminism
+	$(GO) test -race -count=1 ./internal/exp -run 'Pool|Fork'
 
 test:
 	$(GO) test ./...

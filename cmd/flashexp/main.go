@@ -11,6 +11,8 @@
 //	flashexp profile [-scale N] [-procs N] [-noverify]
 //	         [-engine seq|sharded] [-engine-sync barrier|watermark]
 //	         [-workers N] [-metrics-out f] [-pprof dir]
+//	flashexp explore [-app name] [-scale N] [-procs N] [-prefix-refs N]
+//	         [-cold] [-cache-dir dir] [-out f] [-table-out f] [-verify]
 //
 // Experiments: table3.3 table3.4 fig4.1 fig4.2 fig4.3 sec4.3 sec4.5
 // table5.1 table5.1small sec5.2 table5.2 table5.3 sec5.3
@@ -29,6 +31,19 @@
 //
 //	flashexp profile -engine-sync=barrier
 //	flashexp profile -engine-sync=watermark -workers 4
+//
+// The explore subcommand sweeps the design space of Chapter 5's flexibility
+// knobs (protocol data structure, MAGIC data cache size, PP clock ratio,
+// network queue depth, network transit/lookahead window) crossed with the
+// host execution axes (engine, sync scheme) and prints a Pareto table of
+// slowdown-vs-ideal against a hardware-cost proxy. By default the sweep is
+// warm-started: the common workload prefix is simulated once per simulated
+// configuration, snapshotted, and forked copy-on-write into pooled machines;
+// -cache-dir adds a content-addressed result cache so repeated sweeps skip
+// simulation entirely. -cold runs every point from scratch instead — the
+// result files are byte-identical either way:
+//
+//	flashexp explore -app fft -cache-dir /tmp/fc -out pareto.json
 package main
 
 import (
@@ -39,6 +54,7 @@ import (
 	"strings"
 	"time"
 
+	"flashsim/internal/apps"
 	"flashsim/internal/arch"
 	"flashsim/internal/cliutil"
 	"flashsim/internal/exp"
@@ -48,6 +64,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
 		profileMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		exploreMain(os.Args[2:])
 		return
 	}
 	scale := flag.Int("scale", 4, "problem size divisor (1 = paper sizes)")
@@ -136,6 +156,12 @@ func main() {
 	}
 	if *sampleApps != "" {
 		o.SampleApps = strings.Split(*sampleApps, ",")
+		// Fail before any simulation starts: a typo'd app name in a long
+		// sampled sweep should not surface an hour in.
+		if err := apps.ValidateNames(o.SampleApps); err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp: -sample-apps: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	type experiment struct {
@@ -259,6 +285,103 @@ func writeSnapshot(reg *metrics.Registry, path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// exploreMain is the `flashexp explore` subcommand: the design-space sweep
+// over flexibility knobs with warm-started (snapshot-forked, pooled, cached)
+// or cold execution.
+func exploreMain(args []string) {
+	fs := flag.NewFlagSet("flashexp explore", flag.ExitOnError)
+	app := fs.String("app", "fft", "application to sweep (one of: "+apps.ValidNames()+")")
+	scale := fs.Int("scale", 0, "problem size divisor (0 = per-app sweep default)")
+	procs := fs.Int("procs", 4, "processor count")
+	prefixRefs := fs.Uint64("prefix-refs", 20000, "per-CPU reference count of the shared warm-start prefix")
+	cold := fs.Bool("cold", false, "run every point from scratch (no snapshot fork, pool, or cache)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory (warm mode only)")
+	out := fs.String("out", "", "write the deterministic sweep result JSON to this file (- = stdout)")
+	tableOut := fs.String("table-out", "", "write the Pareto table to this file instead of stdout")
+	verify := fs.Bool("verify", false, "verify application results at every simulated point")
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "flashexp explore: unexpected argument %q\n", fs.Arg(0))
+		os.Exit(2)
+	}
+	if err := apps.ValidateNames([]string{*app}); err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp explore: -app: %v\n", err)
+		os.Exit(2)
+	}
+	// A "-" value claims stdout inside DistinctOutputs, so a second stdout
+	// writer (e.g. -table-out -) is rejected with both flags named.
+	if err := cliutil.DistinctOutputs("",
+		cliutil.OutputFlag{Flag: "-out", Path: *out},
+		cliutil.OutputFlag{Flag: "-table-out", Path: *tableOut},
+	); err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp explore: %v\n", err)
+		os.Exit(2)
+	}
+
+	o := exp.ExploreOptions{
+		App:        *app,
+		Scale:      *scale,
+		Procs:      *procs,
+		PrefixRefs: *prefixRefs,
+		Warm:       !*cold,
+		CacheDir:   *cacheDir,
+		Verify:     *verify,
+	}
+	if *cold && *cacheDir != "" {
+		fmt.Fprintln(os.Stderr, "flashexp explore: -cache-dir is ignored with -cold")
+		o.CacheDir = ""
+	}
+	start := time.Now()
+	res, err := exp.Explore(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashexp explore: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start).Seconds()
+
+	// When -out is stdout, the human-readable table moves to stderr so the
+	// JSON stream stays machine-parseable.
+	tableDst := os.Stdout
+	if *out == "-" {
+		tableDst = os.Stderr
+	}
+	if *tableOut != "" {
+		f, err := os.Create(*tableOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp explore: %v\n", err)
+			os.Exit(1)
+		}
+		tableDst = f
+		defer f.Close()
+	}
+	pareto := 0
+	for _, p := range res.Points {
+		if p.Pareto {
+			pareto++
+		}
+	}
+	fmt.Fprint(tableDst, res.Table())
+	fmt.Fprintf(os.Stderr,
+		"flashexp explore: %s scale=%d procs=%d: %d points (%d Pareto), cache %d hits / %d misses, pool %d reuses / %d builds, %.1fs\n",
+		res.App, res.Scale, res.Procs, len(res.Points), pareto,
+		res.CacheHits, res.CacheMisses, res.PoolHits, res.PoolBuilds, wall)
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp explore: json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if *out == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flashexp explore: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // profileMain is the `flashexp profile` subcommand: the Figure 4.1 suite on

@@ -17,6 +17,7 @@ package apps
 
 import (
 	"fmt"
+	"strings"
 
 	"flashsim/internal/workload"
 )
@@ -59,6 +60,21 @@ var Builders = map[string]func(w *workload.World, p Params) (*App, error){
 
 // Names lists the applications in the paper's order.
 var Names = []string{"barnes", "fft", "lu", "mp3d", "ocean", "os", "radix"}
+
+// ValidNames renders the known application names for error messages.
+func ValidNames() string { return strings.Join(Names, ", ") }
+
+// ValidateNames rejects any name that is not a known application, so CLI
+// flag parsing can fail fast — before simulations start — with an error
+// naming the valid set.
+func ValidateNames(names []string) error {
+	for _, n := range names {
+		if _, ok := Builders[n]; !ok {
+			return fmt.Errorf("apps: unknown application %q (valid: %s)", n, ValidNames())
+		}
+	}
+	return nil
+}
 
 // Build constructs the named application.
 func Build(name string, w *workload.World, p Params) (*App, error) {

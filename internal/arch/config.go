@@ -263,6 +263,19 @@ type Config struct {
 	// protocol already runs in zero time).
 	Sample SampleSpec
 
+	// NetQueueCap bounds MAGIC's outgoing network queue (0 = the default
+	// 16 entries of Table 3.1); DataBufs bounds its data-buffer pool (0 =
+	// the default 16). Both change simulated timing under load: a full
+	// queue stalls the PP, an exhausted buffer pool NAKs the request.
+	NetQueueCap int
+	DataBufs    int
+
+	// PPClockDiv divides the protocol processor's clock relative to the
+	// 100 MHz system clock: every PP cycle costs PPClockDiv system cycles
+	// (0 or 1 = the paper's clock-matched PP). The design-space sweep uses
+	// it to price slower, cheaper PP implementations.
+	PPClockDiv int
+
 	Timing Timing
 
 	// MemBytesPerNode sizes each node's local memory slice. Placement maps
@@ -307,10 +320,35 @@ func (c *Config) Validate() error {
 	if c.MemBytesPerNode <= 0 || c.MemBytesPerNode%PageSize != 0 {
 		return fmt.Errorf("arch: MemBytesPerNode %d must be a positive multiple of the page size", c.MemBytesPerNode)
 	}
+	if c.NetQueueCap < 0 {
+		return fmt.Errorf("arch: NetQueueCap must be non-negative, got %d", c.NetQueueCap)
+	}
+	if c.DataBufs < 0 {
+		return fmt.Errorf("arch: DataBufs must be non-negative, got %d", c.DataBufs)
+	}
+	if c.PPClockDiv < 0 {
+		return fmt.Errorf("arch: PPClockDiv must be non-negative, got %d", c.PPClockDiv)
+	}
 	if err := c.Sample.Validate(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// SimKey renders every field that affects simulated behaviour into a stable
+// string. Two configs with equal SimKeys produce bit-identical simulations
+// regardless of host-side choices (PPDispatch, Engine, EngineSync), which
+// is what makes snapshot restore across machines and content-addressed
+// result caching sound. Timing is included wholesale; host-only fields are
+// deliberately absent.
+func (c *Config) SimKey() string {
+	return fmt.Sprintf(
+		"kind=%v nodes=%d cache=%d/%d mshrs=%d place=%v spec=%v ppmode=%d proto=%d mdc=%d/%d net=%v nqcap=%d dbufs=%d ppdiv=%d sample=%d/%d/%d timing=%+v mem=%d",
+		c.Kind, c.Nodes, c.CacheSize, c.CacheWays, c.MSHRs, c.Placement,
+		c.Speculation, c.PPMode, c.Protocol, c.MDCSize, c.MDCWays, c.NetModel,
+		c.NetQueueCap, c.DataBufs, c.PPClockDiv,
+		c.Sample.Detail, c.Sample.Stride, c.Sample.Warmup,
+		c.Timing, c.MemBytesPerNode)
 }
 
 // HomeOf computes the home node of an address under the static interleaved

@@ -1,0 +1,154 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSampleSpecForms(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SampleSpec
+	}{
+		{"", SampleSpec{}},
+		{"off", SampleSpec{}},
+		{"default", DefaultSampleSpec()},
+		{"100/900", SampleSpec{Detail: 100, Stride: 900}},
+		{"100/900/50", SampleSpec{Detail: 100, Stride: 900, Warmup: 50}},
+		{"100/0", SampleSpec{Detail: 100}}, // Stride 0: sampling off
+	} {
+		got, err := ParseSampleSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSampleSpec(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("ParseSampleSpec(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSampleSpecErrors(t *testing.T) {
+	for _, tc := range []struct {
+		in      string
+		wantSub string
+	}{
+		{"100", "want detail/stride"},
+		{"1/2/3/4", "want detail/stride"},
+		{"abc/900", "sample spec"},
+		{"100/xyz", "sample spec"},
+		{"100/-5", "sample spec"},
+		{"/", "sample spec"},
+		{"0/900", "positive Detail"}, // Validate: stride without a window
+	} {
+		_, err := ParseSampleSpec(tc.in)
+		if err == nil {
+			t.Errorf("ParseSampleSpec(%q): expected error", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSampleSpec(%q) error %q does not mention %q", tc.in, err, tc.wantSub)
+		}
+	}
+}
+
+// PhaseAt must agree with Detailed at every boundary cycle: warm-up end,
+// fast-forward/detailed edges, and the cycles on either side of each.
+func TestPhaseAtBoundaries(t *testing.T) {
+	s := SampleSpec{Detail: 100, Stride: 900, Warmup: 50}
+	period := s.Stride + s.Detail
+	var probes []uint64
+	add := func(c uint64) {
+		if c > 0 {
+			probes = append(probes, c-1)
+		}
+		probes = append(probes, c, c+1)
+	}
+	add(0)
+	add(s.Warmup)
+	for k := uint64(0); k < 3; k++ {
+		add(s.Warmup + k*period + s.Stride) // fast-forward -> detailed edge
+		add(s.Warmup + (k+1)*period)        // detailed -> fast-forward edge
+	}
+	for _, c := range probes {
+		det, end := s.PhaseAt(c)
+		if det != s.Detailed(c) {
+			t.Errorf("PhaseAt(%d) detailed=%v disagrees with Detailed=%v", c, det, s.Detailed(c))
+		}
+		if end <= c {
+			t.Errorf("PhaseAt(%d) end=%d not past the cycle", c, end)
+		}
+		// Every cycle inside [c, end) is in the same phase; end is not.
+		if s.Detailed(end-1) != det {
+			t.Errorf("PhaseAt(%d): cycle %d inside the phase disagrees", c, end-1)
+		}
+		if s.Detailed(end) == det {
+			t.Errorf("PhaseAt(%d): end=%d still in the same phase", c, end)
+		}
+	}
+}
+
+// With Warmup 0 the first phase is fast-forward starting at cycle 0.
+func TestPhaseAtWarmupZero(t *testing.T) {
+	s := SampleSpec{Detail: 10, Stride: 90}
+	det, end := s.PhaseAt(0)
+	if det || end != 90 {
+		t.Fatalf("PhaseAt(0) = (%v, %d), want (false, 90)", det, end)
+	}
+	det, end = s.PhaseAt(90)
+	if !det || end != 100 {
+		t.Fatalf("PhaseAt(90) = (%v, %d), want (true, 100)", det, end)
+	}
+}
+
+// Stride 0 is the off switch: every cycle is detailed and
+// DetailedCyclesThrough is the identity.
+func TestStrideZeroOffSwitch(t *testing.T) {
+	s := SampleSpec{Detail: 100}
+	if s.Enabled() {
+		t.Fatal("Stride 0 spec reports Enabled")
+	}
+	for _, c := range []uint64{0, 1, 99, 100, 1 << 40} {
+		if !s.Detailed(c) {
+			t.Errorf("Stride 0: cycle %d not detailed", c)
+		}
+	}
+	for _, e := range []uint64{0, 1, 12345} {
+		if got := s.DetailedCyclesThrough(e); got != e {
+			t.Errorf("Stride 0: DetailedCyclesThrough(%d) = %d", e, got)
+		}
+	}
+}
+
+// DetailedCyclesThrough must equal a brute-force count of Detailed cycles
+// at every phase boundary (and neighbors).
+func TestDetailedCyclesThroughBoundaries(t *testing.T) {
+	for _, s := range []SampleSpec{
+		{Detail: 10, Stride: 40, Warmup: 25},
+		{Detail: 10, Stride: 40}, // Warmup 0
+		{Detail: 1, Stride: 1, Warmup: 1},
+	} {
+		period := s.Stride + s.Detail
+		var probes []uint64
+		for k := uint64(0); k < 3; k++ {
+			base := s.Warmup + k*period
+			for _, e := range []uint64{base, base + 1, base + s.Stride, base + s.Stride + 1, base + period} {
+				probes = append(probes, e)
+			}
+		}
+		probes = append(probes, 0, 1, s.Warmup)
+		count := func(e uint64) uint64 {
+			var n uint64
+			for c := uint64(0); c < e; c++ {
+				if s.Detailed(c) {
+					n++
+				}
+			}
+			return n
+		}
+		for _, e := range probes {
+			if got, want := s.DetailedCyclesThrough(e), count(e); got != want {
+				t.Errorf("spec %+v: DetailedCyclesThrough(%d) = %d, want %d", s, e, got, want)
+			}
+		}
+	}
+}

@@ -61,6 +61,36 @@ func TestDistinctOutputsRejectsStdoutCollision(t *testing.T) {
 	}
 }
 
+// TestDistinctOutputsExploreFlags pins the flag set `flashexp explore`
+// passes: -out may claim stdout (the table moves to stderr), and -table-out
+// must not collide with it or with stdout.
+func TestDistinctOutputsExploreFlags(t *testing.T) {
+	if err := DistinctOutputs("",
+		OutputFlag{Flag: "-out", Path: "pareto.json"},
+		OutputFlag{Flag: "-table-out", Path: "pareto.txt"},
+	); err != nil {
+		t.Fatalf("disjoint explore outputs rejected: %v", err)
+	}
+	if err := DistinctOutputs("",
+		OutputFlag{Flag: "-out", Path: "-"},
+		OutputFlag{Flag: "-table-out", Path: "table.txt"},
+	); err != nil {
+		t.Fatalf("-out on stdout with -table-out on a file rejected: %v", err)
+	}
+	if err := DistinctOutputs("",
+		OutputFlag{Flag: "-out", Path: "-"},
+		OutputFlag{Flag: "-table-out", Path: "/dev/stdout"},
+	); err == nil || !strings.Contains(err.Error(), "-out") || !strings.Contains(err.Error(), "-table-out") {
+		t.Fatalf("two stdout claimants should conflict naming both flags, got %v", err)
+	}
+	if err := DistinctOutputs("",
+		OutputFlag{Flag: "-out", Path: "same.json"},
+		OutputFlag{Flag: "-table-out", Path: "same.json"},
+	); err == nil {
+		t.Fatal("explore outputs sharing a path accepted")
+	}
+}
+
 func TestPprofCapture(t *testing.T) {
 	dir := t.TempDir()
 	p, err := StartPprof(dir)

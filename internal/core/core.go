@@ -315,15 +315,33 @@ func (m *Machine) Run(sources []cpu.RefSource, limit sim.Cycle) error {
 	}
 	m.finAt = make([]sim.Cycle, len(m.Nodes))
 	m.finDone = make([]bool, len(m.Nodes))
+	m.AttachSources(sources)
+	for _, n := range m.Nodes {
+		n.CPU.Start()
+	}
+	m.Eng.SetLimit(limit)
+	return m.finishRun()
+}
+
+// AttachSources wires one reference source per processor without resetting
+// the per-node finish records. Run does this itself; the only direct caller
+// is the workload fork path, which installs replayed sources into a machine
+// whose finish records were just restored from a snapshot.
+func (m *Machine) AttachSources(sources []cpu.RefSource) {
 	for i, n := range m.Nodes {
 		i := i
 		n.CPU.SetSource(sources[i], func(at sim.Cycle) {
 			m.finDone[i] = true
 			m.finAt[i] = at
 		})
-		n.CPU.Start()
 	}
-	m.Eng.SetLimit(limit)
+}
+
+// finishRun drives the engine until its event population drains, publishes
+// buffered store views, and aggregates completion. Processors parked at a
+// snapshot pause point are accounted for — only a genuinely stuck processor
+// is a deadlock.
+func (m *Machine) finishRun() error {
 	err := m.Eng.Run()
 	// Publish any writes still buffered in node views so post-run
 	// verification and coherence checks see the final memory image.
@@ -340,7 +358,9 @@ func (m *Machine) Run(sources []cpu.RefSource, limit sim.Cycle) error {
 	running := 0
 	for i, done := range m.finDone {
 		if !done {
-			running++
+			if !m.Nodes[i].CPU.Paused() {
+				running++
+			}
 			continue
 		}
 		if m.finAt[i] > m.Elapsed {

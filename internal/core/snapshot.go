@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/cpu"
+	"flashsim/internal/magic"
+	"flashsim/internal/memsys"
+	"flashsim/internal/network"
+	"flashsim/internal/ppsim"
+	"flashsim/internal/sim"
+)
+
+// Snapshot is a deterministic machine checkpoint taken at a quiescent pause
+// point (every processor parked at a batch-refill boundary or finished, all
+// controller queues and network traffic drained). The store is captured
+// copy-on-write: Chunks aliases the donor's chunk table, frozen at capture
+// time, and both the donor and any machine restored from the snapshot clone
+// a chunk on its first subsequent write. Everything else — caches, MAGIC
+// state, memory controllers, port sequence counters — is deep-copied, so a
+// snapshot is immutable and may seed any number of forks.
+//
+// A Snapshot deliberately does not capture workload coroutine state; the
+// workload package reconstructs its reference sources by replay (see
+// workload.Checkpoint) and reattaches them with AttachSources.
+type Snapshot struct {
+	// SimKey is the donor's arch.Config.SimKey; Restore demands equality so
+	// a snapshot can only land on a machine simulating identical hardware.
+	SimKey string
+
+	// Now is the engine clock at capture: the earliest cycle at which a
+	// restored machine may resume.
+	Now sim.Cycle
+	// Executed is the donor's event count at capture, for accounting
+	// identities (cold total == prefix + fork executed).
+	Executed uint64
+
+	// Chunks is the frozen copy-on-write store image.
+	Chunks [][]uint64
+
+	// Per-node deep-copied component states, indexed by node.
+	CPUs   []cpu.CPUState
+	Magics []magic.MagicState
+	Mems   []memsys.MemoryState
+	Ports  []network.PortState
+
+	// Per-node finish records at capture (processors that already retired
+	// their final reference during the prefix).
+	FinAt   []sim.Cycle
+	FinDone []bool
+}
+
+// snapshotable reports whether the machine is in a configuration the
+// snapshot layer supports: a plain FLASH machine with no sampled execution,
+// no tracer, and no occupancy sampling. Each excluded feature holds run
+// state outside the captured components (fast-forward chains publish
+// through write-through views, tracers and occupancy series accumulate
+// history) that a fork could not reproduce.
+func (m *Machine) snapshotable() error {
+	if m.Cfg.Kind != arch.KindFLASH {
+		return fmt.Errorf("core: snapshots support FLASH machines only (kind %v)", m.Cfg.Kind)
+	}
+	if m.Cfg.Sample.Enabled() {
+		return fmt.Errorf("core: snapshots do not support sampled execution")
+	}
+	if m.Tracer.Active() {
+		return fmt.Errorf("core: snapshots do not support an active tracer")
+	}
+	if m.OccWindow != 0 {
+		return fmt.Errorf("core: snapshots do not support occupancy sampling")
+	}
+	return nil
+}
+
+// Snapshot captures the machine at a quiescent pause point. The caller
+// must have run the machine with PauseAfterRefs so that every processor is
+// either paused at a batch boundary or finished, and the run must have
+// drained (Run returned nil): outstanding misses completed, controller
+// queues empty, buffered store views flushed. Component CaptureState
+// methods assert the fine-grained invariants and panic with diagnostics if
+// the machine is not actually quiescent.
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	if err := m.snapshotable(); err != nil {
+		return nil, err
+	}
+	if m.finAt == nil {
+		return nil, fmt.Errorf("core: Snapshot before any Run")
+	}
+	for i, n := range m.Nodes {
+		if !n.CPU.Paused() && !n.CPU.Finished() {
+			return nil, fmt.Errorf("core: Snapshot: processor %d neither paused nor finished: %s", i, n.CPU.DebugState())
+		}
+	}
+	for i, v := range m.Views {
+		if p := v.Pending(); p != 0 {
+			return nil, fmt.Errorf("core: Snapshot: node %d view holds %d unflushed writes", i, p)
+		}
+	}
+	s := &Snapshot{
+		SimKey:   m.Cfg.SimKey(),
+		Now:      m.Eng.Now(),
+		Executed: m.Eng.ExecutedEvents(),
+		Chunks:   m.Backing.SnapshotChunks(),
+		FinAt:    append([]sim.Cycle(nil), m.finAt...),
+		FinDone:  append([]bool(nil), m.finDone...),
+	}
+	for _, n := range m.Nodes {
+		s.CPUs = append(s.CPUs, n.CPU.CaptureState())
+		s.Magics = append(s.Magics, n.Magic.CaptureState())
+		s.Mems = append(s.Mems, n.Mem.CaptureState())
+		s.Ports = append(s.Ports, m.Net.Port(n.CPU.ID, nil).CaptureState())
+	}
+	return s, nil
+}
+
+// Restore installs a snapshot into this machine, which must simulate
+// identical hardware (SimKey equality). The engine clock rewinds to zero
+// and local event sequence numbers renumber from scratch; this is
+// invisible to simulated behavior because the queues are empty at capture,
+// renumbering preserves the relative order of same-cycle local events, and
+// dispatch order depends only on (cycle, key) ordering. After Restore the
+// caller reattaches replayed reference sources (AttachSources) and resumes
+// with ResumeRun at or after snapshot.Now.
+func (m *Machine) Restore(s *Snapshot) error {
+	if err := m.snapshotable(); err != nil {
+		return err
+	}
+	if got := m.Cfg.SimKey(); got != s.SimKey {
+		return fmt.Errorf("core: Restore: config mismatch:\n  machine:  %s\n  snapshot: %s", got, s.SimKey)
+	}
+	if len(s.CPUs) != len(m.Nodes) {
+		return fmt.Errorf("core: Restore: %d node states for %d nodes", len(s.CPUs), len(m.Nodes))
+	}
+	m.Eng.Reset()
+	m.Backing.RestoreShared(s.Chunks)
+	for i, n := range m.Nodes {
+		m.Views[i].Reset()
+		n.CPU.RestoreState(s.CPUs[i])
+		n.Magic.RestoreState(s.Magics[i])
+		n.Mem.RestoreState(s.Mems[i])
+		m.Net.Port(n.CPU.ID, nil).RestoreState(s.Ports[i])
+	}
+	m.finAt = append([]sim.Cycle(nil), s.FinAt...)
+	m.finDone = append([]bool(nil), s.FinDone...)
+	m.Elapsed = 0
+	return nil
+}
+
+// Reset returns the machine to its freshly constructed state — engine
+// clock at zero, store all-zero, caches cold, controllers idle, statistics
+// cleared — so experiment drivers can recycle a machine across runs
+// instead of paying core.New (protocol build, store and component
+// allocation) per run. Host-side attachments survive where they are
+// construction choices (engine kind, sync scheme, PP dispatch backend);
+// tracers and metrics registries attached by the previous user stay
+// attached and should be re-set by the next user if unwanted.
+func (m *Machine) Reset() {
+	m.Eng.Reset()
+	m.Backing.Reset()
+	for i, n := range m.Nodes {
+		m.Views[i].Reset()
+		if m.Cfg.Sample.Enabled() {
+			// cpu.New put sampled machines' views in write-through mode;
+			// View.Reset cleared it.
+			m.Views[i].SetWriteThrough(true)
+		}
+		n.CPU.Reset()
+		n.Mem.Reset()
+		m.Net.Port(n.CPU.ID, nil).Reset()
+		if n.Magic != nil {
+			n.Magic.Reset()
+		}
+		if n.Ideal != nil {
+			n.Ideal.Reset()
+		}
+	}
+	m.Elapsed = 0
+	m.finAt = nil
+	m.finDone = nil
+}
+
+// PauseAfterRefs arms every processor to pause at the first batch-refill
+// boundary at or after its k-th reference retires (0 disarms). Pausing
+// happens only between reference batches, so outstanding misses drain
+// naturally and the machine reaches a capturable quiescent state when Run
+// returns. Call before Run.
+func (m *Machine) PauseAfterRefs(k uint64) {
+	for _, n := range m.Nodes {
+		n.CPU.PauseAfter(k)
+	}
+}
+
+// ResumeRun restarts a machine whose processors are parked at a pause
+// point — either the same machine that just ran a paused prefix, or a
+// machine freshly restored from a snapshot of one. Each paused processor
+// resumes at max(its pause cycle, at), in node order; passing the
+// snapshot's Now as `at` makes a restored fork schedule its resume events
+// at exactly the cycles the donor would, which is what makes forked and
+// cold continuations bit-identical. limit (0 = none) bounds the resumed
+// run as in Run.
+func (m *Machine) ResumeRun(at, limit sim.Cycle) error {
+	if m.finAt == nil {
+		return fmt.Errorf("core: ResumeRun without a paused run")
+	}
+	for _, n := range m.Nodes {
+		if !n.CPU.Paused() {
+			continue
+		}
+		rt := n.CPU.PausedAt()
+		if rt < at {
+			rt = at
+		}
+		n.CPU.ResumeAt(rt)
+	}
+	m.Eng.SetLimit(limit)
+	return m.finishRun()
+}
+
+// PoolKeyFor returns the recycling identity for machines built from cfg:
+// the simulated-behavior key plus the resolved host-side execution choices
+// (engine kind, sync scheme, PP dispatch backend). Two configs with equal
+// pool keys build machines that are interchangeable after Reset, both in
+// simulated behavior and in host-side execution strategy. The config is
+// normalized exactly as New normalizes it (ideal timing override, derived
+// network transit, environment-resolved sampling), so keys computed before
+// construction match keys computed from a built machine's Cfg.
+func PoolKeyFor(cfg arch.Config) string {
+	return fmt.Sprintf("%s engine=%d sync=%d dispatch=%v",
+		SimKeyFor(cfg), resolveEngine(cfg.Engine), resolveSync(cfg.EngineSync),
+		ppsim.BackendFor(cfg.PPDispatch))
+}
+
+// SimKeyFor returns cfg's simulated-behavior key after applying the same
+// normalization New applies (ideal timing override, derived network
+// transit, environment-resolved sampling): the key of the machine New
+// would actually build. Two configs with equal keys produce bit-identical
+// simulations regardless of host-side choices; the experiment result cache
+// keys on this.
+func SimKeyFor(cfg arch.Config) string {
+	if cfg.Kind == arch.KindIdeal {
+		ideal := arch.IdealTiming()
+		ideal.MemAccess = cfg.Timing.MemAccess
+		ideal.MemLineBusy = cfg.Timing.MemLineBusy
+		cfg.Timing = ideal
+	}
+	if cfg.Timing.NetTransit == 0 {
+		cfg.Timing.NetTransit = uint32(network.AvgTransitFor(cfg.Nodes))
+	}
+	cfg.Sample = resolveSample(cfg.Sample)
+	if cfg.Kind == arch.KindIdeal {
+		cfg.Sample = arch.SampleSpec{}
+	}
+	return cfg.SimKey()
+}
+
+// PoolKey returns the machine's recycling identity; see PoolKeyFor.
+func (m *Machine) PoolKey() string { return PoolKeyFor(m.Cfg) }

@@ -91,6 +91,14 @@ func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, mem *memsys.Memory
 // Attach wires the processor.
 func (c *Controller) Attach(p *cpu.CPU) { c.CPU = p }
 
+// Reset returns the controller to its freshly constructed state: an empty
+// oracle directory and zeroed counters.
+func (c *Controller) Reset() {
+	c.dir = make(map[uint64]*dirEntry)
+	c.Stats = Stats{}
+	c.curTID = 0
+}
+
 // DirState is a read-only directory snapshot for invariant checking.
 type DirState struct {
 	Dirty, Pending, Local bool

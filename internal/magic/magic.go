@@ -156,9 +156,17 @@ type Magic struct {
 	// never outlive runHandlerFF, so one scratch struct per controller
 	// avoids an allocation per dispatch.
 	ffCtx handlerCtx
+
+	// Resolved design knobs: queue/buffer capacities (Table 3.1 defaults,
+	// overridable through arch.Config for the design-space sweep) and the
+	// PP clock divisor — every PP cycle costs ppDiv system cycles.
+	netQCap    int
+	dataBufCap int
+	ppDiv      sim.Cycle
 }
 
-// queue capacities from Table 3.1.
+// queue capacities from Table 3.1 (the defaults when arch.Config leaves
+// NetQueueCap/DataBufs zero).
 const (
 	netQueueCap = 16
 	piOutCap    = 1
@@ -182,6 +190,18 @@ func New(id arch.NodeID, eng sim.Scheduler, cfg *arch.Config, prog *protocol.Pro
 		handlers: make(map[string]*handlerAgg),
 		sampling: cfg.Sample.Enabled(),
 		sample:   cfg.Sample,
+	}
+	m.netQCap = cfg.NetQueueCap
+	if m.netQCap == 0 {
+		m.netQCap = netQueueCap
+	}
+	m.dataBufCap = cfg.DataBufs
+	if m.dataBufCap == 0 {
+		m.dataBufCap = dataBufs
+	}
+	m.ppDiv = sim.Cycle(cfg.PPClockDiv)
+	if m.ppDiv < 1 {
+		m.ppDiv = 1
 	}
 	mdc := ppsim.NewMDC(cfg.MDCSize, cfg.MDCWays)
 	m.PP = ppsim.NewBackend(prog.Code, int(prog.Layout.MemBytes), mdc, (*ppEnv)(m), ppsim.BackendFor(cfg.PPDispatch))
@@ -487,7 +507,7 @@ func (m *Magic) startHandler() {
 // handleStatus advances MAGIC state after a PP run segment.
 func (m *Magic) handleStatus(st ppsim.Status, cyc uint64) {
 	ctx := m.ctx
-	end := ctx.segStart + sim.Cycle(cyc)
+	end := ctx.segStart + sim.Cycle(cyc)*m.ppDiv
 	switch st {
 	case ppsim.StatusDone:
 		if ctx.dispatched < m.lastEnd {
@@ -526,7 +546,7 @@ func (m *Magic) handleStatus(st ppsim.Status, cyc uint64) {
 		// The waker (an injection/delivery completion event) resumes us.
 		// If capacity already freed between the failed TrySend and now,
 		// wake immediately.
-		if ctx.blockedNet && m.outNet < netQueueCap {
+		if ctx.blockedNet && m.outNet < m.netQCap {
 			m.wake(end)
 		} else if ctx.blockedPI && m.outPI < piOutCap {
 			m.wake(end)
@@ -575,7 +595,7 @@ func (m *Magic) allocBuf() {
 	if m.bufs > m.Stats.BufHigh {
 		m.Stats.BufHigh = m.bufs
 	}
-	if m.bufs > dataBufs {
+	if m.bufs > m.dataBufCap {
 		m.Stats.BufOverflow++
 	}
 }
@@ -598,7 +618,7 @@ func (e *ppEnv) TrySend(h ppsim.OutHeader, dt uint64) bool {
 	if ctx.ff {
 		return m.sendFF(h)
 	}
-	tSend := ctx.segStart + sim.Cycle(dt)
+	tSend := ctx.segStart + sim.Cycle(dt)*m.ppDiv
 	mt := arch.MsgType(h.Type)
 
 	if h.Iface == ppisa.SendPI {
@@ -727,7 +747,7 @@ func (m *Magic) sendToPI(h ppsim.OutHeader, tSend sim.Cycle) bool {
 // sendToNet injects a message into the interconnect through the outgoing
 // network queue (capacity 16) and the NI outbound stage.
 func (m *Magic) sendToNet(h ppsim.OutHeader, tSend sim.Cycle) bool {
-	if m.outNet >= netQueueCap {
+	if m.outNet >= m.netQCap {
 		m.ctx.blockedNet = true
 		m.Stats.NetBlocks++
 		return false
@@ -794,7 +814,7 @@ func (e *ppEnv) MemRead(addr uint64, dt uint64) {
 	if ctx.specIssued {
 		return // data already on the way
 	}
-	fw, _ := m.Mem.Read(ctx.segStart + sim.Cycle(dt))
+	fw, _ := m.Mem.Read(ctx.segStart + sim.Cycle(dt)*m.ppDiv)
 	if !ctx.hasData {
 		m.allocBuf()
 		ctx.hasData = true
@@ -808,7 +828,7 @@ func (e *ppEnv) MemWrite(addr uint64, dt uint64) {
 	if m.ctx.ff {
 		return
 	}
-	m.Mem.Write(m.ctx.segStart + sim.Cycle(dt))
+	m.Mem.Write(m.ctx.segStart + sim.Cycle(dt)*m.ppDiv)
 }
 
 // MDCFill services a MAGIC data cache miss: a full-line read from local
@@ -819,15 +839,105 @@ func (e *ppEnv) MDCFill(addr uint64, writeback bool, dt uint64) uint64 {
 	if m.ctx == nil || m.ctx.ff {
 		// Boot-time fill (pp_init) or a functional handler: the MDC tag
 		// state already updated inside ppsim; charge the flat miss penalty
-		// with no memory reservation.
-		return uint64(m.T.MDCMiss)
+		// with no memory reservation. The penalty is system cycles; the PP
+		// counts its own (possibly slower) cycles, so divide rounding up.
+		return uint64((m.T.MDCMiss + uint32(m.ppDiv) - 1) / uint32(m.ppDiv))
 	}
-	t := m.ctx.segStart + sim.Cycle(dt)
+	t := m.ctx.segStart + sim.Cycle(dt)*m.ppDiv
 	_, done := m.Mem.Read(t)
 	if writeback {
 		m.Mem.Write(done)
 	}
-	return uint64(done - t)
+	// The memory stall elapsed in system cycles; the PP charges it in PP
+	// cycles, rounding up so the handler never resumes before the data.
+	return uint64((done - t + m.ppDiv - 1) / m.ppDiv)
+}
+
+// HandlerStat is one handler entry's accumulated occupancy in a snapshot.
+type HandlerStat struct {
+	Cycles sim.Cycle
+	Count  uint64
+	Lat    trace.Histogram
+}
+
+// MagicState is the deterministic simulation state of one quiesced
+// controller: protocol processor (registers + protocol memory, which holds
+// the directory), MDC contents, occupancy and statistics. Queues must be
+// empty and the PP idle — Machine.Snapshot drains the engine first.
+type MagicState struct {
+	PP       ppsim.PPState
+	MDC      ppsim.MDCState
+	PPOcc    sim.OccupancyMeter
+	Stats    Stats
+	LastEnd  sim.Cycle
+	RRPI     bool
+	Handlers map[string]HandlerStat
+}
+
+// CaptureState snapshots a quiesced controller. It panics if a handler is
+// in flight, any inbox queue is nonempty, or outbound slots / data buffers
+// are in use: such a machine has pending events and is not at a snapshot
+// point.
+func (m *Magic) CaptureState() MagicState {
+	if m.ctx != nil || m.dispatchScheduled || !m.queuesEmpty() ||
+		m.outNet != 0 || m.outPI != 0 || m.bufs != 0 {
+		panic(fmt.Sprintf("magic%d: CaptureState before quiescence: %s", m.ID, m.DebugState()))
+	}
+	st := MagicState{
+		PP:       m.PP.CaptureState(),
+		MDC:      m.PP.MDC.CaptureState(),
+		PPOcc:    m.PPOcc,
+		Stats:    m.Stats,
+		LastEnd:  m.lastEnd,
+		RRPI:     m.rrPI,
+		Handlers: make(map[string]HandlerStat, len(m.handlers)),
+	}
+	for name, agg := range m.handlers {
+		st.Handlers[name] = HandlerStat{Cycles: agg.cycles, Count: agg.count, Lat: agg.lat}
+	}
+	return st
+}
+
+// RestoreState installs a captured state into a controller built for the
+// same protocol program and configuration.
+func (m *Magic) RestoreState(st MagicState) {
+	m.PP.RestoreState(st.PP)
+	m.PP.MDC.RestoreState(st.MDC)
+	m.PPOcc = st.PPOcc
+	m.Stats = st.Stats
+	m.lastEnd = st.LastEnd
+	m.rrPI = st.RRPI
+	for name, agg := range m.handlers {
+		h := st.Handlers[name] // zero value for never-invoked handlers
+		agg.cycles, agg.count, agg.lat = h.Cycles, h.Count, h.Lat
+	}
+	m.qPI, m.qNetReq, m.qNetRpl = nil, nil, nil
+	m.outNet, m.outPI, m.bufs = 0, 0, 0
+	m.ctx = nil
+	m.dispatchScheduled = false
+}
+
+// Reset returns the controller to its freshly constructed-and-attached
+// state: protocol memory reinitialized and pp_init re-run, MDC and all
+// statistics cleared. The interned jump table and handler map survive.
+func (m *Magic) Reset() {
+	m.PP.Reset()
+	m.PP.MDC.Reset()
+	m.Prog.Layout.InitMemory(m.PP.Mem, m.ID, m.Cfg.NodeBase(m.ID), m.Cfg.Nodes)
+	if st, _ := m.PP.Start("pp_init"); st != ppsim.StatusDone {
+		panic("magic: pp_init did not complete")
+	}
+	m.PPOcc = sim.OccupancyMeter{}
+	m.Stats = Stats{}
+	for _, agg := range m.handlers {
+		*agg = handlerAgg{}
+	}
+	m.qPI, m.qNetReq, m.qNetRpl = nil, nil, nil
+	m.rrPI = false
+	m.outNet, m.outPI, m.bufs = 0, 0, 0
+	m.ctx = nil
+	m.dispatchScheduled = false
+	m.lastEnd = 0
 }
 
 // DebugState renders the controller's queue/handler state for hang diagnosis.

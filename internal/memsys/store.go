@@ -9,6 +9,10 @@ package memsys
 // the dense semantics exactly.
 type Store struct {
 	chunks [][]uint64
+	// shared[i] marks chunk i as referenced by a snapshot (or restored from
+	// one): it must be cloned before the next write through Word. Reads go
+	// through shared chunks directly.
+	shared []bool
 }
 
 const (
@@ -20,7 +24,7 @@ const (
 // memory is allocated until it is written.
 func NewStore(words int) *Store {
 	n := (words + storeChunkWords - 1) >> storeChunkShift
-	return &Store{chunks: make([][]uint64, n)}
+	return &Store{chunks: make([][]uint64, n), shared: make([]bool, n)}
 }
 
 // Load returns word i. Reads of never-written chunks return zero without
@@ -33,17 +37,65 @@ func (s *Store) Load(i uint64) uint64 {
 	return c[i&(storeChunkWords-1)]
 }
 
-// Word returns a stable pointer to word i, materializing its chunk if
-// needed. Chunks are never moved or freed, so pointers taken before the
-// simulation starts (workload initialization) stay valid throughout.
+// Word returns a writable pointer to word i, materializing its chunk if
+// needed and cloning it first when it is shared with a snapshot. Within
+// one machine lifetime (no Snapshot/Restore), chunks are never moved or
+// freed, so pointers taken before the simulation starts (workload
+// initialization) stay valid throughout; after SnapshotChunks or
+// RestoreShared, previously taken pointers may refer to a frozen copy and
+// must be re-fetched.
 func (s *Store) Word(i uint64) *uint64 {
 	ci := i >> storeChunkShift
 	c := s.chunks[ci]
 	if c == nil {
 		c = make([]uint64, storeChunkWords)
 		s.chunks[ci] = c
+	} else if s.shared[ci] {
+		clone := make([]uint64, storeChunkWords)
+		copy(clone, c)
+		s.chunks[ci] = clone
+		s.shared[ci] = false
+		c = clone
 	}
 	return &c[i&(storeChunkWords-1)]
+}
+
+// SnapshotChunks freezes the store's current contents and returns the
+// chunk-pointer table. Every materialized chunk is marked shared, so the
+// donor (and any store restored from the returned table) clones a chunk
+// before its first subsequent write — the returned table's data is
+// immutable from this point on and may back any number of forks.
+func (s *Store) SnapshotChunks() [][]uint64 {
+	snap := make([][]uint64, len(s.chunks))
+	copy(snap, s.chunks)
+	for i, c := range s.chunks {
+		if c != nil {
+			s.shared[i] = true
+		}
+	}
+	return snap
+}
+
+// RestoreShared replaces the store's contents with a chunk table produced
+// by SnapshotChunks on a same-sized store. All installed chunks are marked
+// shared: the first write to each clones it, leaving the snapshot intact.
+func (s *Store) RestoreShared(chunks [][]uint64) {
+	if len(chunks) != len(s.chunks) {
+		panic("memsys: RestoreShared chunk count mismatch")
+	}
+	copy(s.chunks, chunks)
+	for i, c := range s.chunks {
+		s.shared[i] = c != nil
+	}
+}
+
+// Reset drops all materialized chunks, returning the store to its
+// freshly constructed all-zero state.
+func (s *Store) Reset() {
+	for i := range s.chunks {
+		s.chunks[i] = nil
+		s.shared[i] = false
+	}
 }
 
 // View is one node's window-quantized view of the backing store: writes
@@ -113,4 +165,14 @@ func (v *View) Flush() {
 		*v.s.Word(r.idx) = r.val
 	}
 	v.log = v.log[:0]
+}
+
+// Pending reports how many buffered writes have not been flushed.
+// Snapshot capture asserts this is zero after a boundary flush.
+func (v *View) Pending() int { return len(v.log) }
+
+// Reset empties the log and clears write-through mode.
+func (v *View) Reset() {
+	v.log = v.log[:0]
+	v.writeThrough = false
 }

@@ -113,6 +113,33 @@ func (n *Network) total(f func(*Port) uint64) uint64 {
 	return t
 }
 
+// PortState is a port's deterministic state: the send-sequence counter
+// (which keys delivery order, so forks must continue it exactly) and the
+// message counters.
+type PortState struct {
+	Seq       uint64
+	Msgs      uint64
+	DataMsgs  uint64
+	ReplyMsgs uint64
+}
+
+// CaptureState snapshots the port counters.
+func (p *Port) CaptureState() PortState {
+	return PortState{Seq: p.seq, Msgs: p.Msgs, DataMsgs: p.DataMsgs, ReplyMsgs: p.ReplyMsgs}
+}
+
+// RestoreState installs captured port counters.
+func (p *Port) RestoreState(st PortState) {
+	p.seq = st.Seq
+	p.Msgs, p.DataMsgs, p.ReplyMsgs = st.Msgs, st.DataMsgs, st.ReplyMsgs
+}
+
+// Reset zeroes the sequence and message counters.
+func (p *Port) Reset() {
+	p.seq = 0
+	p.Msgs, p.DataMsgs, p.ReplyMsgs = 0, 0, 0
+}
+
 // Send injects m at time `at` (which must be >= the owning node's current
 // time); it is delivered to m.Dst after the transit latency.
 func (p *Port) Send(at sim.Cycle, m arch.Msg) {

@@ -103,6 +103,11 @@ type Backend interface {
 	// Profile returns the host-cost breakdown accumulated by profiled Run
 	// calls, or nil when profiling was never enabled.
 	Profile() *EngineProfile
+	// Reset discards every pending event and returns the clock to cycle 0,
+	// as if the engine were freshly constructed. Quantum/flush wiring and
+	// profiling accumulation survive; machine pooling uses it to recycle
+	// engines.
+	Reset()
 }
 
 // queue is one node's event population: the monomorphic heap plus the
@@ -143,6 +148,16 @@ func (q *queue) deliver(at Cycle, src int, seq uint64, fn func()) {
 // pending reports the number of undispatched events in this queue.
 func (q *queue) pending() int { return len(q.heap) + len(q.fifo) - q.fifoPos }
 
+// reset discards all events and rewinds the clock to cycle 0, keeping the
+// allocated heap/fifo capacity (and the hiWater profiling high-mark).
+func (q *queue) reset() {
+	q.now = 0
+	q.seq = 0
+	q.heap = q.heap[:0]
+	q.fifo = q.fifo[:0]
+	q.fifoPos = 0
+}
+
 // nextAt returns the cycle of the earliest undispatched event, if any.
 func (q *queue) nextAt() (Cycle, bool) {
 	if q.fifoPos < len(q.fifo) {
@@ -182,6 +197,17 @@ var ErrLimit = fmt.Errorf("sim: cycle limit exceeded")
 // NewEngine returns an empty engine at cycle 0.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Reset returns the engine to its freshly constructed state: no pending
+// events, clock at 0, executed count cleared. Quantum/flush wiring and
+// profiling state are kept so a pooled machine's engine stays configured.
+func (e *Engine) Reset() {
+	e.queue.reset()
+	e.stopped = false
+	e.Executed = 0
+	e.Limit = 0
+	e.curWin = 0
 }
 
 // Now returns the current simulated cycle.

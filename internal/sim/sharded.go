@@ -232,6 +232,33 @@ func (e *ShardedEngine) Profile() *EngineProfile {
 // Stop is invoked from a simulation event) halts immediately.
 func (e *ShardedEngine) Stop() { e.stopReq.Store(true) }
 
+// Reset returns the engine to its freshly constructed state: every shard's
+// queue and mailboxes emptied, all clocks at 0, executed counts cleared.
+// Window/sync/lookahead configuration and profiling accumulation survive.
+// Must not be called while Run is in progress.
+func (e *ShardedEngine) Reset() {
+	for _, s := range e.shards {
+		s.queue.reset()
+		s.executed = 0
+		s.stopped = false
+		for i := range s.outbox {
+			s.outbox[i] = s.outbox[i][:0]
+		}
+		s.inMu.Lock()
+		s.inbox = s.inbox[:0]
+		s.inboxSpare = s.inboxSpare[:0]
+		s.inMu.Unlock()
+	}
+	e.curWin = 0
+	e.limit = 0
+	e.wmGate = 0
+	e.stopReq.Store(false)
+	for i := range e.frS {
+		e.frS[i], e.hzS[i], e.nextS[i] = 0, 0, 0
+		e.hasS[i] = false
+	}
+}
+
 // Now returns the globally latest shard clock: the cycle of the last event
 // dispatched anywhere, matching the sequential engine's clock.
 func (e *ShardedEngine) Now() Cycle {

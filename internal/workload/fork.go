@@ -1,0 +1,173 @@
+package workload
+
+// Snapshot-fork warm starts. A design-space sweep re-simulates the same
+// application prefix under every configuration whose differences only
+// matter later; RunPrefix simulates that prefix once, Checkpoint captures
+// the machine copy-on-write, and Fork replants the checkpoint into another
+// machine of identical simulated configuration and resumes it. The forked
+// continuation is bit-identical to resuming the donor in place (pinned by
+// TestForkDeterminism in internal/exp).
+//
+// The machine side of a checkpoint is core.Snapshot. The workload side —
+// each thread's position inside its coroutine — cannot be captured
+// directly (a Go coroutine's stack is opaque), so it is reconstructed by
+// replay: the prefix run records the data result of every blocking
+// reference, and Fork re-executes the thread body against the log, pumping
+// the rebuilt coroutine exactly as many times as the donor did. Everything
+// a thread computes between blocking references is a deterministic
+// function of those results (the per-thread PRNG is seeded by thread id;
+// Go-level inter-thread communication is banned by the package contract),
+// so the replayed coroutine parks at the same program point with the same
+// locals, ready to produce the exact reference stream the donor would.
+
+import (
+	"fmt"
+
+	"flashsim/internal/arch"
+	"flashsim/internal/core"
+	"flashsim/internal/cpu"
+	"flashsim/internal/sim"
+)
+
+// ThreadState is one thread's replayable position at a checkpoint.
+type ThreadState struct {
+	// Log holds the results of the blocking references the thread completed
+	// during the prefix, in completion order.
+	Log []uint64
+	// Pulls is how many times the donor resumed the thread's coroutine.
+	Pulls int
+	// HasPending/PendingOK mirror the donor source's prepulled-batch state:
+	// a blocking reference's completion resumes the thread immediately and
+	// holds the batch it produces for the next NextBatch.
+	HasPending bool
+	PendingOK  bool
+}
+
+// Checkpoint pairs a quiescent machine snapshot with the thread replay
+// records needed to rebuild the reference sources. Like the snapshot, it
+// is immutable and may seed any number of forks.
+type Checkpoint struct {
+	Snap    *core.Snapshot
+	Threads []ThreadState
+}
+
+// Prefix is a paused run: the world's machine stopped with every processor
+// parked at a batch-refill boundary (or finished) after roughly pauseRefs
+// references. Checkpoint captures it; Resume continues it in place (the
+// cold leg forks compare against).
+type Prefix struct {
+	w     *World
+	srcs  []*threadSource
+	limit uint64
+}
+
+// RunPrefix runs fn on every processor until each has retired pauseRefs
+// references and paused at its next batch-refill boundary, with all
+// outstanding traffic drained. Blocking-reference results are recorded for
+// later replay. limit bounds simulated cycles for the whole run including
+// any later Resume (0 = none).
+func (w *World) RunPrefix(fn func(*Ctx), pauseRefs, limit uint64) (*Prefix, error) {
+	if pauseRefs == 0 {
+		return nil, fmt.Errorf("workload: RunPrefix needs a positive pause point")
+	}
+	srcs := make([]cpu.RefSource, w.Cfg.Nodes)
+	p := &Prefix{w: w, limit: limit}
+	for i := range srcs {
+		s := w.newThread(i, fn)
+		s.ctx.recOn = true
+		p.srcs = append(p.srcs, s)
+		srcs[i] = s
+	}
+	w.M.PauseAfterRefs(pauseRefs)
+	if err := w.M.Run(srcs, sim.Cycle(limit)); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Checkpoint captures the paused machine and the thread replay records.
+// Call between RunPrefix and Resume.
+func (p *Prefix) Checkpoint() (*Checkpoint, error) {
+	snap, err := p.w.M.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	ck := &Checkpoint{Snap: snap}
+	for _, s := range p.srcs {
+		ck.Threads = append(ck.Threads, ThreadState{
+			Log:        append([]uint64(nil), s.ctx.rec...),
+			Pulls:      s.pulls,
+			HasPending: s.hasPending,
+			PendingOK:  s.pendingOK,
+		})
+	}
+	return ck, nil
+}
+
+// Resume disarms the pause points and runs the donor machine to
+// completion in place. The continuation is the cold leg: every resumed
+// processor restarts at max(its pause cycle, the snapshot cycle), exactly
+// where a fork restarts, so cold and warm continuations see identical
+// event schedules.
+func (p *Prefix) Resume() error {
+	m := p.w.M
+	m.PauseAfterRefs(0)
+	return m.ResumeRun(m.Eng.Now(), sim.Cycle(p.limit))
+}
+
+// Retarget returns a copy of the world bound to m2, a machine built from
+// an identical configuration. Allocation state is copied, so addresses the
+// application computed at build time against the donor resolve to the same
+// physical locations in m2's store — which is what lets an application's
+// Verify (reading through World.M.Word) check a forked machine's memory.
+func (w *World) Retarget(m2 *core.Machine) *World {
+	return &World{
+		M:      m2,
+		Cfg:    &m2.Cfg,
+		bump:   append([]arch.Addr(nil), w.bump...),
+		rrNext: w.rrNext,
+	}
+}
+
+// Fork installs ck into m2 (which must simulate identical hardware — fresh
+// from core.New, recycled via Reset, or donor-restored), rebuilds the
+// thread sources by replaying fn against the checkpoint's logs, and runs
+// the machine to completion from the snapshot cycle. It returns a world
+// retargeted at m2 for verification. limit bounds the resumed run in
+// simulated cycles (0 = none), measured on the shared clock the snapshot
+// continues.
+func (w *World) Fork(ck *Checkpoint, m2 *core.Machine, fn func(*Ctx), limit uint64) (*World, error) {
+	if len(ck.Threads) != m2.Cfg.Nodes {
+		return nil, fmt.Errorf("workload: Fork: %d thread records for %d nodes", len(ck.Threads), m2.Cfg.Nodes)
+	}
+	if err := m2.Restore(ck.Snap); err != nil {
+		return nil, err
+	}
+	w2 := w.Retarget(m2)
+	srcs := make([]cpu.RefSource, m2.Cfg.Nodes)
+	for i := range srcs {
+		ts := &ck.Threads[i]
+		s := w2.newThread(i, fn)
+		s.ctx.replay = append([]uint64(nil), ts.Log...)
+		var last []cpu.Ref
+		var lastOK bool
+		for k := 0; k < ts.Pulls; k++ {
+			last, lastOK = s.pull()
+		}
+		if n := len(s.ctx.replay); n != 0 {
+			return nil, fmt.Errorf("workload: Fork: thread %d replay diverged: %d of %d recorded results unconsumed", i, n, len(ts.Log))
+		}
+		if ts.HasPending {
+			s.pending, s.pendingOK, s.hasPending = last, lastOK, true
+			if lastOK != ts.PendingOK {
+				return nil, fmt.Errorf("workload: Fork: thread %d replay diverged: pending ok=%v, recorded %v", i, lastOK, ts.PendingOK)
+			}
+		}
+		srcs[i] = s
+	}
+	m2.AttachSources(srcs)
+	if err := m2.ResumeRun(ck.Snap.Now, sim.Cycle(limit)); err != nil {
+		return nil, err
+	}
+	return w2, nil
+}

@@ -7,9 +7,11 @@
 # one file. flash_cycles are asserted bit-identical across backends and
 # across engines. A sampled section compares fast-forward execution against
 # full simulation (error + confidence intervals + speedup; gate: >= 3x at
-# <= 5% error on >= 2 apps, carried by per-app tuned schedules), and a
+# <= 5% error on >= 2 apps, carried by per-app tuned schedules), a
 # multicore section records barrier-vs-
-# watermark walls and a timed paper-size run (skipped, loudly, on 1 core).
+# watermark walls and a timed paper-size run (skipped, loudly, on 1 core),
+# and an explore section times the design-space sweep cold vs warm-started
+# (snapshot-fork + pool + result cache; gate: >= 2x, bit-identical output).
 #
 # Usage:  scripts/bench.sh            # -> BENCH_sim.json
 #         COUNT=3 MACRO_COUNT=1 OUT=/tmp/b.json scripts/bench.sh
@@ -371,6 +373,64 @@ else
 	} >>"$OUT"
 	echo "bench.sh: multicore wall comparison SKIPPED (host_cpus=$HOST_CPUS; needs > 1)"
 fi
+
+# Explore design-space sweep: cold (every point simulated from scratch)
+# vs warm-started (common prefix simulated once per simulated config,
+# snapshotted, forked copy-on-write into pooled machines; host-axis
+# duplicates served from the content-addressed result cache) vs a fully
+# cached rerun. The three result files must be bit-identical — warm
+# starting is a pure host-side optimization — and the warm sweep must be
+# >= 2x faster than the cold sweep (gate).
+T_EXPLORE="$(now_s)"
+EXPLORE_DIR="$(mktemp -d)"
+trap 'rm -f "$RAW" "$RAWC" "$RAWI" "$RAWS" "$RAWW" "$MJSON" "$SJSON" "$SAMPLED_TXT" "$GATE_TXT"; rm -rf "$EXPLORE_DIR"' EXIT
+go build -o "$EXPLORE_DIR/flashexp" ./cmd/flashexp
+EXPLORE_ARGS="-app fft -scale 16 -procs 4"
+T_COLD="$(now_s)"
+"$EXPLORE_DIR/flashexp" explore $EXPLORE_ARGS -cold -out "$EXPLORE_DIR/cold.json" >/dev/null
+EXPLORE_COLD_WALL="$(since "$T_COLD")"
+T_WARM="$(now_s)"
+"$EXPLORE_DIR/flashexp" explore $EXPLORE_ARGS -cache-dir "$EXPLORE_DIR/cache" -out "$EXPLORE_DIR/warm.json" >/dev/null
+EXPLORE_WARM_WALL="$(since "$T_WARM")"
+T_CACHED="$(now_s)"
+"$EXPLORE_DIR/flashexp" explore $EXPLORE_ARGS -cache-dir "$EXPLORE_DIR/cache" -out "$EXPLORE_DIR/cached.json" >/dev/null
+EXPLORE_CACHED_WALL="$(since "$T_CACHED")"
+if ! cmp -s "$EXPLORE_DIR/cold.json" "$EXPLORE_DIR/warm.json"; then
+	echo "bench.sh: warm explore sweep is not bit-identical to the cold sweep" >&2
+	exit 1
+fi
+if ! cmp -s "$EXPLORE_DIR/warm.json" "$EXPLORE_DIR/cached.json"; then
+	echo "bench.sh: cached explore rerun is not bit-identical to the populating sweep" >&2
+	exit 1
+fi
+EXPLORE_POINTS="$(grep -c '"report_digest"' "$EXPLORE_DIR/cold.json")"
+EXPLORE_PARETO="$(grep -c '"pareto": true' "$EXPLORE_DIR/cold.json")"
+EXPLORE_SPEEDUP="$(awk -v c="$EXPLORE_COLD_WALL" -v w="$EXPLORE_WARM_WALL" 'BEGIN { printf "%.2f", (w > 0 ? c / w : 0) }')"
+if [ "$EXPLORE_POINTS" -lt 50 ]; then
+	echo "bench.sh: explore sweep covered only $EXPLORE_POINTS points, need >= 50" >&2
+	exit 1
+fi
+if ! awk -v r="$EXPLORE_SPEEDUP" 'BEGIN { exit !(r >= 2) }'; then
+	echo "bench.sh: warm explore speedup ${EXPLORE_SPEEDUP}x below the 2x gate (cold ${EXPLORE_COLD_WALL}s, warm ${EXPLORE_WARM_WALL}s)" >&2
+	exit 1
+fi
+EXPLORE_WALL="$(since "$T_EXPLORE")"
+echo "bench.sh: explore $EXPLORE_POINTS points ($EXPLORE_PARETO Pareto): cold ${EXPLORE_COLD_WALL}s, warm ${EXPLORE_WARM_WALL}s (${EXPLORE_SPEEDUP}x), cached ${EXPLORE_CACHED_WALL}s, results bit-identical"
+{
+	printf '  "explore": {\n'
+	printf '    "note": "flashexp explore %s: cold vs warm-started (snapshot-fork + machine pool + content-addressed cache) vs fully cached rerun; result JSON asserted bit-identical across all three; gate: warm >= 2x faster than cold",\n' "$EXPLORE_ARGS"
+	printf '    "gomaxprocs": %s,\n' "$GOMAXPROCS_VAL"
+	printf '    "host_cpus": %s,\n' "$HOST_CPUS"
+	printf '    "wall_seconds": %s,\n' "$EXPLORE_WALL"
+	printf '    "points": %s,\n' "$EXPLORE_POINTS"
+	printf '    "pareto_points": %s,\n' "$EXPLORE_PARETO"
+	printf '    "cold_wall_seconds": %s,\n' "$EXPLORE_COLD_WALL"
+	printf '    "warm_wall_seconds": %s,\n' "$EXPLORE_WARM_WALL"
+	printf '    "cached_wall_seconds": %s,\n' "$EXPLORE_CACHED_WALL"
+	printf '    "warm_speedup": %s,\n' "$EXPLORE_SPEEDUP"
+	printf '    "bit_identical": true\n'
+	printf '  },\n'
+} >>"$OUT"
 
 # Seed-tree baseline (commit 1dc46be, before the event-queue rewrite and
 # handshake batching) and the PR 1 optimized tree, both recorded once from
